@@ -1,0 +1,18 @@
+"""E12: tallies + settlement against the Theorem 1 payments."""
+
+import pytest
+
+from repro.accounting.settlement import run_accounting
+from repro.mechanism.vcg import compute_price_table
+from repro.traffic.generators import gravity_traffic
+
+
+def test_bench_accounting_identity(benchmark, isp16):
+    table = compute_price_table(isp16)
+    traffic = gravity_traffic(isp16, seed=0, total=1000.0)
+
+    report, reference = benchmark(run_accounting, table, traffic)
+    for node in isp16.nodes:
+        assert report.revenue.get(node, 0.0) == pytest.approx(
+            reference.get(node, 0.0), rel=1e-9, abs=1e-9
+        )

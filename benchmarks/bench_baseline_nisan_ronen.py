@@ -1,0 +1,61 @@
+"""E8: the prior-mechanism baselines.
+
+Benchmarks the Nisan-Ronen single-pair mechanism and both
+replacement-path engines (cut scan vs per-edge Dijkstra), asserting the
+formula equivalences; the relative timings exhibit the batching win
+Hershberger-Suri is about.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.hershberger_suri import (
+    replacement_path_costs,
+    replacement_path_costs_naive,
+)
+from repro.baselines.nisan_ronen import EdgeWeightedGraph, nisan_ronen_mechanism
+
+
+def _edge_graph(n=24, extra=20, seed=3):
+    rng = random.Random(seed)
+    costs = {}
+    for i in range(n):
+        u, v = i, (i + 1) % n
+        costs[(min(u, v), max(u, v))] = rng.uniform(1.0, 10.0)
+    while extra:
+        u, v = rng.sample(range(n), 2)
+        key = (min(u, v), max(u, v))
+        if key not in costs:
+            costs[key] = rng.uniform(1.0, 10.0)
+            extra -= 1
+    return EdgeWeightedGraph(costs)
+
+
+GRAPH = _edge_graph()
+SOURCE, TARGET = 0, 12
+
+
+def test_bench_nisan_ronen_mechanism(benchmark):
+    result = benchmark(nisan_ronen_mechanism, GRAPH, SOURCE, TARGET)
+    base = result.path_cost
+    for (u, v), payment in result.payments.items():
+        marginal = GRAPH.cost(u, v) + GRAPH.without_edge(u, v).distance(SOURCE, TARGET) - base
+        assert payment == pytest.approx(marginal)
+    assert result.total_payment >= result.path_cost - 1e-9
+
+
+def test_bench_replacement_paths_cut_scan(benchmark):
+    fast = benchmark(replacement_path_costs, GRAPH, SOURCE, TARGET)
+    naive = replacement_path_costs_naive(GRAPH, SOURCE, TARGET)
+    for edge, value in naive.items():
+        if math.isinf(value):
+            assert math.isinf(fast[edge])
+        else:
+            assert fast[edge] == pytest.approx(value)
+
+
+def test_bench_replacement_paths_naive(benchmark):
+    naive = benchmark(replacement_path_costs_naive, GRAPH, SOURCE, TARGET)
+    assert naive

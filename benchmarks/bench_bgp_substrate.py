@@ -1,0 +1,31 @@
+"""E9: the plain BGP substrate and the hop-count baseline."""
+
+import pytest
+
+from repro.baselines.hopcount_bgp import route_stretch
+from repro.bgp.engine import SynchronousEngine
+from repro.core.convergence import convergence_bound
+from repro.routing.allpairs import all_pairs_lcp
+
+
+def test_bench_plain_bgp_convergence(benchmark, isp16):
+    def run():
+        engine = SynchronousEngine(isp16)
+        engine.initialize()
+        return engine, engine.run()
+
+    engine, report = benchmark(run)
+    assert report.stages <= convergence_bound(isp16).d
+    routes = all_pairs_lcp(isp16)
+    for source in isp16.nodes:
+        for destination in isp16.nodes:
+            if source != destination:
+                assert engine.node(source).route(destination).path == routes.path(
+                    source, destination
+                )
+
+
+def test_bench_hopcount_stretch(benchmark, isp16):
+    report = benchmark(route_stretch, isp16)
+    assert report.mean_stretch >= 1.0 - 1e-9
+    assert report.aggregate_stretch >= 1.0 - 1e-9

@@ -1,0 +1,23 @@
+"""E14: congestion analysis and the greedy feasibility repair."""
+
+from repro.extensions.capacity import congestion_report, greedy_decongest
+from repro.traffic.generators import gravity_traffic
+
+
+def test_bench_congestion_report(benchmark, isp16):
+    traffic = dict(gravity_traffic(isp16, seed=0, total=1000.0).items())
+    capacities = {node: 100.0 for node in isp16.nodes}
+    report = benchmark(congestion_report, isp16, capacities, traffic)
+    assert report.total_cost > 0
+
+
+def test_bench_greedy_decongest(benchmark, isp16):
+    traffic = dict(gravity_traffic(isp16, seed=0, total=1000.0).items())
+    baseline = congestion_report(
+        isp16, {node: float("inf") for node in isp16.nodes}, traffic
+    )
+    capacities = {
+        node: max(1.0, 0.7 * baseline.loads.get(node, 0.0)) for node in isp16.nodes
+    }
+    result = benchmark(greedy_decongest, isp16, capacities, traffic)
+    assert result.cost_premium >= -1e-9

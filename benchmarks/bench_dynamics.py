@@ -1,0 +1,24 @@
+"""E10: reconvergence under dynamics (failure / recovery / re-price)."""
+
+from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+from repro.core.dynamics import run_dynamic_scenario
+from repro.graphs.biconnectivity import is_biconnected
+
+
+def _script(graph):
+    events = []
+    for u, v in graph.edges:
+        if is_biconnected(graph.without_edge(u, v)):
+            events.append(LinkFailure(u, v))
+            events.append(LinkRecovery(u, v))
+            break
+    busiest = max(graph.nodes, key=graph.degree)
+    events.append(CostChange(busiest, graph.cost(busiest) * 2.0 + 1.0))
+    return events
+
+
+def test_bench_dynamic_scenario(benchmark, isp16):
+    events = _script(isp16)
+    run = benchmark(run_dynamic_scenario, isp16, events)
+    assert run.all_ok
+    assert run.all_within_bound

@@ -1,0 +1,49 @@
+"""E13: the per-neighbor cost extension, centralized and distributed."""
+
+import random
+
+import pytest
+
+from repro.extensions.edgecost import (
+    EdgeCostGraph,
+    compute_edgecost_price_table,
+    run_edgecost_mechanism,
+    verify_edgecost_result,
+)
+from repro.graphs.generators import integer_costs, isp_like_graph
+from repro.mechanism.vcg import compute_price_table
+
+
+def _instance(n=14, seed=0):
+    base = isp_like_graph(n, seed=seed, cost_sampler=integer_costs(1, 6))
+    rng = random.Random(seed)
+    forwarding = {
+        node: {v: float(rng.randint(0, 6)) for v in base.neighbors(node)}
+        for node in base.nodes
+    }
+    return base, EdgeCostGraph(edges=base.edges, forwarding_costs=forwarding)
+
+
+def test_bench_edgecost_centralized(benchmark):
+    _base, instance = _instance()
+    table = benchmark(compute_edgecost_price_table, instance)
+    for destination in instance.nodes:
+        for source in instance.nodes:
+            if source != destination:
+                assert table.path(source, destination)[0] == source
+
+
+def test_bench_edgecost_distributed(benchmark):
+    _base, instance = _instance()
+    result = benchmark(run_edgecost_mechanism, instance)
+    assert verify_edgecost_result(result).ok
+
+
+def test_bench_edgecost_uniform_embedding(benchmark):
+    base, _ = _instance()
+    uniform = EdgeCostGraph.from_uniform(base)
+    ext = benchmark(compute_edgecost_price_table, uniform)
+    reference = compute_price_table(base)
+    for pair, row in reference.items():
+        for k, price in row.items():
+            assert ext.price(k, *pair) == pytest.approx(price)

@@ -1,0 +1,23 @@
+"""E1: regenerate the Figure 1 worked example (centralized mechanism).
+
+Benchmarks the all-pairs Theorem 1 price table on the paper's six-AS
+graph and asserts every worked number digit for digit.
+"""
+
+import pytest
+
+from repro.graphs.generators import FIG1_LABELS
+from repro.mechanism.vcg import compute_price_table
+
+
+def test_bench_fig1_price_table(benchmark, fig1):
+    table = benchmark(compute_price_table, fig1)
+    label = FIG1_LABELS
+    X, B, D, Y, Z = (label[name] for name in "XBDYZ")
+    assert table.routes.path(X, Z) == (X, B, D, Z)
+    assert table.routes.cost(X, Z) == 3.0
+    assert table.price(D, X, Z) == 3.0
+    assert table.price(B, X, Z) == 4.0
+    assert table.routes.cost(Y, Z) == 1.0
+    assert table.price(D, Y, Z) == 9.0
+    assert table.total_price(X, Z) == 7.0

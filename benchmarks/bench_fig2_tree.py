@@ -1,0 +1,14 @@
+"""E2: regenerate the Figure 2 route tree T(Z)."""
+
+from repro.graphs.generators import FIG1_LABELS
+from repro.routing.dijkstra import route_tree
+
+
+def test_bench_fig2_route_tree(benchmark, fig1):
+    label = FIG1_LABELS
+    tree = benchmark(route_tree, fig1, label["Z"])
+    assert tree.parent(label["X"]) == label["B"]
+    assert tree.parent(label["B"]) == label["D"]
+    assert tree.parent(label["Y"]) == label["D"]
+    assert tree.parent(label["D"]) == label["Z"]
+    assert tree.parent(label["A"]) == label["Z"]

@@ -1,0 +1,17 @@
+"""E17: the cost-deflation manipulation, end to end with audit."""
+
+from repro.graphs.generators import integer_costs, random_biconnected_graph
+from repro.strategic.manipulation import manipulation_outcome
+from repro.traffic.generators import uniform_traffic
+
+
+def test_bench_manipulation_outcome(benchmark):
+    graph = random_biconnected_graph(12, 0.25, seed=1, cost_sampler=integer_costs(1, 5))
+    traffic = dict(uniform_traffic(graph).items())
+    candidates = [
+        node for node in graph.nodes if graph.degree(node) < graph.num_nodes - 1
+    ]
+    manipulator = max(candidates, key=graph.degree)
+
+    outcome = benchmark(manipulation_outcome, graph, manipulator, traffic, 1.0)
+    assert outcome.caught

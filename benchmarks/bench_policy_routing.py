@@ -1,0 +1,13 @@
+"""E16: valley-free policy routing on the ISP-like family."""
+
+from repro.graphs.generators import integer_costs, isp_like_graph
+from repro.policy import annotate_isp_hierarchy, is_valley_free, run_policy_routing
+
+
+def test_bench_policy_routing(benchmark):
+    graph = isp_like_graph(20, seed=0, cost_sampler=integer_costs(1, 6))
+    relationships = annotate_isp_hierarchy(graph, core_size=4)
+
+    result = benchmark(run_policy_routing, graph, relationships)
+    for path in result.routes_by_pair().values():
+        assert is_valley_free(path, relationships)

@@ -1,0 +1,21 @@
+"""E11: engine scaling -- pure Python vs vectorized scipy, same answers."""
+
+import numpy as np
+import pytest
+
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.scipy_engine import all_pairs_costs
+
+
+def test_bench_python_all_pairs(benchmark, isp32):
+    routes = benchmark(all_pairs_lcp, isp32)
+    assert len(routes.paths) == isp32.num_nodes * (isp32.num_nodes - 1)
+
+
+def test_bench_scipy_all_pairs(benchmark, isp32):
+    matrix, index = benchmark(all_pairs_costs, isp32)
+    routes = all_pairs_lcp(isp32)
+    reference = np.zeros_like(matrix)
+    for (i, j), _path in routes.paths.items():
+        reference[index[i], index[j]] = routes.cost(i, j)
+    assert np.abs(matrix - reference).max() <= 1e-9

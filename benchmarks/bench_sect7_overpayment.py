@@ -1,0 +1,36 @@
+"""E7: the Section 7 overcharging numbers.
+
+Benchmarks the overpayment statistics and asserts the paper's extreme
+example (Y->Z pays 9x) plus the ratio >= 1 invariant and the
+sparse-beats-dense shape.
+"""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import FIG1_LABELS
+from repro.mechanism.overpayment import overpayment_ratio, overpayment_stats
+from repro.mechanism.vcg import compute_price_table
+
+
+def test_bench_overpayment_fig1(benchmark, fig1):
+    table = compute_price_table(fig1)
+    stats = benchmark(overpayment_stats, table)
+    label = FIG1_LABELS
+    assert overpayment_ratio(table, label["Y"], label["Z"]) == pytest.approx(9.0)
+    assert stats.max_ratio == pytest.approx(9.0)
+    assert stats.mean_ratio >= 1.0
+
+
+def test_bench_overpayment_families(benchmark, ring12, isp16):
+    def compute():
+        ring_stats = overpayment_stats(compute_price_table(ring12))
+        isp_stats = overpayment_stats(compute_price_table(isp16))
+        return ring_stats, isp_stats
+
+    ring_stats, isp_stats = benchmark(compute)
+    assert ring_stats.mean_ratio >= 1.0
+    assert isp_stats.mean_ratio >= 1.0
+    # sparse rings overcharge more than dense Internet-like graphs
+    assert ring_stats.mean_ratio >= isp_stats.mean_ratio

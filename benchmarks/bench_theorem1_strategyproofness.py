@@ -1,0 +1,18 @@
+"""E4: the Theorem 1 deviation sweep.
+
+Benchmarks the full lie grid over every node of a random instance and
+asserts no lie is profitable.
+"""
+
+from repro.mechanism.strategyproof import most_profitable, sweep_deviations
+from repro.traffic.generators import gravity_traffic
+
+
+def test_bench_deviation_sweep(benchmark, random14):
+    traffic = dict(gravity_traffic(random14, seed=0).items())
+
+    outcomes = benchmark(sweep_deviations, random14, traffic)
+    worst = most_profitable(outcomes)
+    assert worst is not None
+    assert worst.gain <= 1e-9
+    assert not any(outcome.profitable for outcome in outcomes)

@@ -1,0 +1,38 @@
+"""E5: Theorem 2 convergence, per topology family.
+
+Each benchmark runs the full FPSS protocol to quiescence and asserts
+the measured stages never exceed max(d, d').
+"""
+
+import pytest
+
+from repro.core.convergence import convergence_bound
+from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.graphs.generators import (
+    grid_graph,
+    integer_costs,
+    isp_like_graph,
+    random_biconnected_graph,
+    ring_graph,
+)
+
+FAMILIES = {
+    "ring": lambda: ring_graph(10, seed=0, cost_sampler=integer_costs(1, 5)),
+    "grid": lambda: grid_graph(3, 4, seed=0, cost_sampler=integer_costs(1, 6)),
+    "random": lambda: random_biconnected_graph(
+        12, 0.25, seed=0, cost_sampler=integer_costs(0, 5)
+    ),
+    "isp-like": lambda: isp_like_graph(16, seed=0, cost_sampler=integer_costs(1, 6)),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_bench_convergence(benchmark, family):
+    graph = FAMILIES[family]()
+    bound = convergence_bound(graph)
+
+    result = benchmark(run_distributed_mechanism, graph)
+    assert result.stages <= bound.stages, (
+        f"{family}: {result.stages} stages > max(d, d') = {bound.stages}"
+    )
+    assert verify_against_centralized(result).ok

@@ -1,0 +1,53 @@
+"""E6: Theorem 2 state and communication accounting.
+
+Benchmarks plain BGP and the FPSS extension on the same instance and
+asserts the constant-factor claims (state O(nd); communication within
+3x of plain BGP).
+"""
+
+import pytest
+
+from repro.bgp.engine import SynchronousEngine
+from repro.core.convergence import convergence_bound
+from repro.core.price_node import PriceComputingNode, UpdateMode
+
+
+def _price_factory(node_id, cost, policy):
+    return PriceComputingNode(node_id, cost, policy, mode=UpdateMode.MONOTONE)
+
+
+def _run_plain(graph):
+    engine = SynchronousEngine(graph)
+    engine.initialize()
+    report = engine.run()
+    return engine, report
+
+
+def _run_fpss(graph):
+    engine = SynchronousEngine(graph, node_factory=_price_factory)
+    engine.initialize()
+    report = engine.run()
+    return engine, report
+
+
+def test_bench_plain_bgp_state(benchmark, isp16):
+    engine, report = benchmark(_run_plain, isp16)
+    bound = convergence_bound(isp16)
+    state = engine.state_report()
+    assert state.max_loc_rib <= 2 * isp16.num_nodes * (bound.d + 1)
+    assert report.total_entries_sent > 0
+
+
+def test_bench_fpss_state_and_comm_factor(benchmark, isp16):
+    _plain_engine, plain_report = _run_plain(isp16)
+    engine, report = benchmark(_run_fpss, isp16)
+    bound = convergence_bound(isp16)
+    state = engine.state_report()
+    assert state.max_loc_rib <= 2 * isp16.num_nodes * (bound.d + 1)
+    assert state.max_price_entries <= isp16.num_nodes * bound.d
+    # The paper's constant-factor claim is about per-message size; total
+    # traffic additionally grows with the max(d, d')/d stage ratio.
+    plain_size = plain_report.total_entries_sent / plain_report.total_messages
+    fpss_size = report.total_entries_sent / report.total_messages
+    ratio = fpss_size / plain_size
+    assert ratio <= 3.0, f"per-message size ratio {ratio} exceeds the constant-factor cap"

@@ -1,0 +1,64 @@
+"""Network dynamics: link failure, recovery, and a cost re-declaration.
+
+Drives a running FPSS network through the Section 6 restart model:
+each event restarts the price convergence on the mutated topology;
+after every epoch the script verifies the prices against the
+centralized mechanism for the *current* graph and compares the
+reconvergence stages to the new instance's max(d, d') bound.  A
+routes-only BGP network is run alongside to show warm incremental
+reconvergence (no restart needed for routing).
+
+Run:  python examples/dynamic_network.py
+"""
+
+from repro.bgp.engine import SynchronousEngine
+from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+from repro.core.dynamics import apply_event_to_graph, run_dynamic_scenario
+from repro.graphs.biconnectivity import is_biconnected
+from repro.graphs.generators import integer_costs, isp_like_graph
+
+
+def main() -> None:
+    graph = isp_like_graph(18, seed=5, cost_sampler=integer_costs(1, 6))
+    print(f"ISP-like topology: {graph.num_nodes} ASes, {graph.num_edges} links")
+
+    # pick a link whose loss keeps the mechanism well-defined
+    edge = next(
+        (u, v) for u, v in graph.edges
+        if is_biconnected(graph.without_edge(u, v))
+    )
+    busiest = max(graph.nodes, key=graph.degree)
+    events = [
+        LinkFailure(*edge),
+        LinkRecovery(*edge),
+        CostChange(busiest, graph.cost(busiest) * 3.0),
+    ]
+
+    print("\nScripted events:")
+    for event in events:
+        print(f"  - {event.describe()}")
+
+    run = run_dynamic_scenario(graph, events)
+    print(f"\n{'epoch':<32} {'stages':>7} {'bound':>6} {'prices':>7}")
+    for epoch in run.epochs:
+        print(f"{epoch.description:<32} {epoch.stages:>7} "
+              f"{epoch.bound.stages:>6} {'ok' if epoch.ok else 'WRONG':>7}")
+    assert run.all_ok and run.all_within_bound
+    print("\nEvery epoch reconverged to the exact centralized prices within "
+          "the mutated instance's max(d, d').")
+
+    # Plain BGP (routes only) reconverges warm -- no restart:
+    engine = SynchronousEngine(graph)
+    engine.initialize()
+    engine.run()
+    current = graph
+    print("\nPlain BGP (routes only, warm reconvergence):")
+    for event in events:
+        current = apply_event_to_graph(current, event)
+        event.apply(engine)
+        report = engine.run()
+        print(f"  after '{event.describe()}': {report.stages} stages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Using the prices: tallies and settlement (Section 6.4)."""
+
+from repro.accounting.tally import PacketTally
+from repro.accounting.settlement import SettlementReport, settle
+
+__all__ = ["PacketTally", "SettlementReport", "settle"]

@@ -1,0 +1,59 @@
+"""Settlement: aggregating tallies into per-node revenue.
+
+The identity the reproduction checks (experiment E12): driving the
+traffic matrix through per-source tallies and settling must produce
+exactly the Theorem 1 payments ``p_k = sum_ij T_ij p^k_ij``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.accounting.tally import PacketTally
+from repro.mechanism.vcg import PriceTable, payments
+from repro.traffic.matrix import TrafficMatrix
+from repro.types import Cost, NodeId
+
+
+@dataclass
+class SettlementReport:
+    """Aggregated revenue per transit node after one settlement round."""
+
+    revenue: Dict[NodeId, Cost] = field(default_factory=dict)
+    sources_settled: int = 0
+
+    def credit(self, k: NodeId, amount: Cost) -> None:
+        self.revenue[k] = self.revenue.get(k, 0.0) + amount
+
+    def total(self) -> Cost:
+        return float(sum(self.revenue.values()))
+
+
+def settle(tallies: Iterable[PacketTally]) -> SettlementReport:
+    """Drain every tally into one settlement report."""
+    report = SettlementReport()
+    for tally in tallies:
+        submitted = tally.drain()
+        for k, amount in submitted.items():
+            report.credit(k, amount)
+        report.sources_settled += 1
+    return report
+
+
+def run_accounting(
+    table: PriceTable,
+    traffic: TrafficMatrix,
+) -> Tuple[SettlementReport, Dict[NodeId, Cost]]:
+    """Drive *traffic* through per-source tallies and settle.
+
+    Returns the settlement report and the centralized Theorem 1
+    payments for comparison; the two agree up to float summation order.
+    """
+    tallies: Dict[NodeId, PacketTally] = {}
+    for (source, destination), intensity in traffic.items():
+        tally = tallies.setdefault(source, PacketTally(source))
+        tally.record_packets(destination, table.row(source, destination), intensity)
+    report = settle(tallies.values())
+    reference = payments(table, dict(traffic.items()))
+    return report, reference

@@ -1,0 +1,75 @@
+"""Per-packet charge tallies (Section 6.4).
+
+"The simplest approach is to have each node i keep running tallies of
+owed charges; that is, every time a packet is sent from source i to a
+destination j, the counter for each node k != i, j that lies on the LCP
+is incremented by p^k_ij."  A :class:`PacketTally` is that counter set
+for one source node; it requires only the node's own price rows, i.e.
+O(n) additional storage per node as the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.exceptions import MechanismError
+from repro.types import Cost, NodeId
+
+
+class PacketTally:
+    """Running owed-charge counters kept at one source node."""
+
+    def __init__(self, source: NodeId) -> None:
+        self.source = source
+        self.packets_sent = 0.0
+        self._owed: Dict[NodeId, Cost] = {}
+
+    def record_packets(
+        self,
+        destination: NodeId,
+        price_row: Mapping[NodeId, Cost],
+        count: float = 1.0,
+    ) -> None:
+        """Record *count* packets sent to *destination*.
+
+        *price_row* is the source's own price row ``k -> p^k_ij`` for
+        that destination (from its FPSS node); each transit node's
+        counter grows by ``count * p^k_ij``.
+        """
+        if count < 0:
+            raise MechanismError(f"cannot record {count} packets")
+        if destination == self.source:
+            raise MechanismError("self-traffic carries no transit charges")
+        self.packets_sent += count
+        for k, price in price_row.items():
+            if price != price or price < 0 or price == float("inf"):
+                raise MechanismError(
+                    f"unusable price {price!r} for transit node {k}; "
+                    "tallies must only run on converged prices"
+                )
+            self._owed[k] = self._owed.get(k, 0.0) + count * price
+
+    def owed(self, k: NodeId) -> Cost:
+        """Total currently owed by this source to transit node *k*."""
+        return self._owed.get(k, 0.0)
+
+    def snapshot(self) -> Dict[NodeId, Cost]:
+        """Copy of all counters (what gets submitted at settlement)."""
+        return dict(self._owed)
+
+    def drain(self) -> Dict[NodeId, Cost]:
+        """Submit and reset the counters (the periodic submission to
+        "whatever accounting and charging mechanisms are used")."""
+        submitted = self._owed
+        self._owed = {}
+        return submitted
+
+    @property
+    def total_owed(self) -> Cost:
+        return float(sum(self._owed.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketTally(source={self.source}, packets={self.packets_sent}, "
+            f"owed={self.total_owed:.6g})"
+        )

@@ -1,0 +1,13 @@
+"""Analysis and reporting helpers shared by the experiment harness."""
+
+from repro.analysis.report import Table
+from repro.analysis.convergence_stats import convergence_row, convergence_sweep
+from repro.analysis.frugality import frugality_row, frugality_sweep
+
+__all__ = [
+    "Table",
+    "convergence_row",
+    "convergence_sweep",
+    "frugality_row",
+    "frugality_sweep",
+]

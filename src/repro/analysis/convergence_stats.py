@@ -1,0 +1,67 @@
+"""Convergence measurements across topology families (experiment E5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.convergence import convergence_bound
+from repro.core.price_node import UpdateMode
+from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.graphs.asgraph import ASGraph
+
+
+@dataclass(frozen=True)
+class ConvergenceRow:
+    """One measured instance for the Theorem 2 table."""
+
+    family: str
+    n: int
+    m: int
+    d: int
+    d_prime: int
+    bound: int
+    stages_routes_only: int
+    stages_with_prices: int
+    within_bound: bool
+    prices_correct: bool
+
+
+def convergence_row(
+    family: str,
+    graph: ASGraph,
+    mode: UpdateMode = UpdateMode.MONOTONE,
+) -> ConvergenceRow:
+    """Measure one instance: plain-BGP stages, FPSS stages, bound, and
+    end-to-end price correctness."""
+    from repro.bgp.engine import SynchronousEngine
+
+    bound = convergence_bound(graph)
+
+    plain = SynchronousEngine(graph)
+    plain.initialize()
+    plain_report = plain.run()
+
+    result = run_distributed_mechanism(graph, mode=mode)
+    verification = verify_against_centralized(result)
+
+    return ConvergenceRow(
+        family=family,
+        n=graph.num_nodes,
+        m=graph.num_edges,
+        d=bound.d,
+        d_prime=bound.d_prime,
+        bound=bound.stages,
+        stages_routes_only=plain_report.stages,
+        stages_with_prices=result.stages,
+        within_bound=result.stages <= bound.stages,
+        prices_correct=verification.ok,
+    )
+
+
+def convergence_sweep(
+    instances: Iterable[tuple],
+    mode: UpdateMode = UpdateMode.MONOTONE,
+) -> List[ConvergenceRow]:
+    """Measure many ``(family_name, graph)`` instances."""
+    return [convergence_row(family, graph, mode=mode) for family, graph in instances]

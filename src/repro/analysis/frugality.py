@@ -1,0 +1,57 @@
+"""Overpayment measurements across topology families (experiment E7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.overpayment import overpayment_stats
+from repro.mechanism.vcg import compute_price_table
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class FrugalityRow:
+    """One instance for the Section 7 overcharging table."""
+
+    family: str
+    n: int
+    m: int
+    mean_ratio: float
+    median_ratio: float
+    max_ratio: float
+    aggregate_ratio: float
+
+
+def frugality_row(
+    family: str,
+    graph: ASGraph,
+    traffic: Optional[TrafficMatrix] = None,
+) -> FrugalityRow:
+    table = compute_price_table(graph)
+    stats = overpayment_stats(
+        table, traffic=dict(traffic.items()) if traffic is not None else None
+    )
+    return FrugalityRow(
+        family=family,
+        n=graph.num_nodes,
+        m=graph.num_edges,
+        mean_ratio=stats.mean_ratio,
+        median_ratio=stats.median_ratio,
+        max_ratio=stats.max_ratio,
+        aggregate_ratio=stats.aggregate_ratio,
+    )
+
+
+def frugality_sweep(
+    instances: Iterable[tuple],
+    traffic_for=None,
+) -> List[FrugalityRow]:
+    """Measure many ``(family_name, graph)`` instances; *traffic_for*
+    optionally maps a graph to its traffic matrix."""
+    rows = []
+    for family, graph in instances:
+        traffic = traffic_for(graph) if traffic_for is not None else None
+        rows.append(frugality_row(family, graph, traffic=traffic))
+    return rows

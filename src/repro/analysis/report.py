@@ -1,0 +1,82 @@
+"""Plain-text tables for experiment output.
+
+Every experiment renders its results as a :class:`Table` -- fixed
+headers, typed rows, and a monospace formatter -- so that the CLI, the
+benchmarks, and EXPERIMENTS.md all print identical artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[_format_cell(value) for value in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(values: Iterable[str]) -> str:
+            return "  ".join(
+                value.ljust(width) for value, width in zip(values, widths)
+            ).rstrip()
+
+        parts = [self.title, "=" * len(self.title)]
+        parts.append(line(self.headers))
+        parts.append(line("-" * width for width in widths))
+        parts.extend(line(row) for row in cells)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
+        parts = [f"### {self.title}", ""]
+        parts.append("| " + " | ".join(self.headers) + " |")
+        parts.append("|" + "|".join(" --- " for _ in self.headers) + "|")
+        for row in self.rows:
+            parts.append(
+                "| " + " | ".join(_format_cell(value) for value in row) + " |"
+            )
+        for note in self.notes:
+            parts.append("")
+            parts.append(f"*{note}*")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

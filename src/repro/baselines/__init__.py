@@ -1,0 +1,25 @@
+"""Baselines and prior mechanisms the paper builds on or departs from.
+
+* :mod:`repro.baselines.nisan_ronen` -- the centralized, single-pair,
+  *edge*-agent VCG mechanism of Nisan & Ronen [16] (including its own
+  edge-weighted shortest-path substrate).
+* :mod:`repro.baselines.hershberger_suri` -- batched replacement-path
+  computation in the style of Hershberger & Suri [12]: all edge-removal
+  shortest-path costs for one pair from two shortest-path trees and a
+  cut scan, instead of one Dijkstra per removed edge.
+* :mod:`repro.baselines.hopcount_bgp` -- what *unmodified* BGP computes
+  (shortest AS paths by hop count), quantifying the cost penalty the
+  paper's "trivial modification" to lowest-cost routing removes.
+"""
+
+from repro.baselines.nisan_ronen import EdgeWeightedGraph, nisan_ronen_mechanism
+from repro.baselines.hershberger_suri import replacement_path_costs
+from repro.baselines.hopcount_bgp import hopcount_routes, route_stretch
+
+__all__ = [
+    "EdgeWeightedGraph",
+    "nisan_ronen_mechanism",
+    "replacement_path_costs",
+    "hopcount_routes",
+    "route_stretch",
+]

@@ -1,0 +1,102 @@
+"""What unmodified BGP computes: shortest AS paths by hop count.
+
+Section 1 notes that "the current BGP simply computes shortest AS paths
+in terms of number of AS hops" and calls switching to lowest cost a
+trivial modification.  This baseline quantifies what the modification
+buys: run the same path-vector engine under
+:class:`~repro.bgp.policy.HopCountPolicy` and compare the transit cost
+of its selected routes against the true LCPs (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.bgp.engine import SynchronousEngine
+from repro.bgp.policy import HopCountPolicy
+from repro.exceptions import MechanismError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.allpairs import all_pairs_lcp
+from repro.types import Cost, NodeId, PathTuple
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+def hopcount_routes(graph: ASGraph) -> Dict[PairKey, PathTuple]:
+    """Selected routes under vanilla (hop-count) BGP, for all pairs."""
+    engine = SynchronousEngine(graph, policy=HopCountPolicy())
+    engine.initialize()
+    engine.run()
+    routes: Dict[PairKey, PathTuple] = {}
+    for source, node in engine.nodes.items():
+        for destination, entry in node.routes.items():
+            routes[(source, destination)] = entry.path
+    return routes
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Cost penalty of hop-count routing relative to LCP routing."""
+
+    pairs: int
+    pairs_suboptimal: int
+    mean_stretch: float
+    max_stretch: float
+    max_pair: PairKey
+    total_hopcount_cost: Cost
+    total_lcp_cost: Cost
+
+    @property
+    def aggregate_stretch(self) -> float:
+        if self.total_lcp_cost == 0:
+            return 1.0
+        return self.total_hopcount_cost / self.total_lcp_cost
+
+
+def route_stretch(graph: ASGraph) -> StretchReport:
+    """Compare hop-count BGP routes against lowest-cost routes.
+
+    Stretch of a pair = (transit cost of the hop-count route) /
+    (transit cost of the LCP); pairs whose LCP costs zero are counted
+    as stretch 1 when the hop-count route also costs zero and are
+    otherwise excluded from the mean (but reflected in the totals).
+    """
+    lcp = all_pairs_lcp(graph)
+    hop = hopcount_routes(graph)
+    stretches = []
+    suboptimal = 0
+    max_stretch = 1.0
+    max_pair: PairKey = (graph.nodes[0], graph.nodes[0])
+    total_hop = 0.0
+    total_lcp = 0.0
+    for (source, destination), path in sorted(hop.items()):
+        hop_cost = graph.path_cost(path) if len(path) >= 2 else 0.0
+        lcp_cost = lcp.cost(source, destination)
+        if hop_cost + 1e-12 < lcp_cost:
+            raise MechanismError(
+                f"hop-count route beats the LCP for ({source}, {destination}); "
+                "the LCP computation is wrong"
+            )
+        total_hop += hop_cost
+        total_lcp += lcp_cost
+        if hop_cost > lcp_cost + 1e-12:
+            suboptimal += 1
+        if lcp_cost > 0:
+            stretch = hop_cost / lcp_cost
+            stretches.append(stretch)
+            if stretch > max_stretch:
+                max_stretch = stretch
+                max_pair = (source, destination)
+        elif hop_cost == 0:
+            stretches.append(1.0)
+    mean = sum(stretches) / len(stretches) if stretches else 1.0
+    return StretchReport(
+        pairs=len(hop),
+        pairs_suboptimal=suboptimal,
+        mean_stretch=mean,
+        max_stretch=max_stretch,
+        max_pair=max_pair,
+        total_hopcount_cost=total_hop,
+        total_lcp_cost=total_lcp,
+    )

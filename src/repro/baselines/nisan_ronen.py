@@ -1,0 +1,178 @@
+"""The Nisan-Ronen LCP mechanism: edges as agents, one pair at a time.
+
+This is the point of departure the paper cites (Sect. 2): the network
+is an abstract graph whose *edges* hold private costs; for a designated
+pair ``(x, y)`` the mechanism selects a lowest-cost path and pays each
+edge ``e`` on it
+
+    ``payment(e) = d_{G | c_e = inf} - d_{G | c_e = 0}``
+
+i.e. the cost of the best path with ``e`` priced out minus the cost of
+the best path with ``e`` free.  The graph must be biconnected (here:
+2-edge-connected between the endpoints) so the first term is finite.
+
+The module carries its own small edge-weighted substrate (the node-cost
+machinery of the main library deliberately does not model edge costs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import GraphError, UnreachableError
+from repro.types import NodeId
+
+Edge = Tuple[NodeId, NodeId]
+INF = float("inf")
+
+
+def _normalize(u: NodeId, v: NodeId) -> Edge:
+    return (min(u, v), max(u, v))
+
+
+class EdgeWeightedGraph:
+    """An undirected graph with per-edge costs (the [16] model)."""
+
+    def __init__(self, edge_costs: Mapping[Edge, float]) -> None:
+        self._costs: Dict[Edge, float] = {}
+        self._adjacency: Dict[NodeId, List[NodeId]] = {}
+        for (u, v), cost in edge_costs.items():
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self-loop on {u}")
+            key = _normalize(u, v)
+            if key in self._costs:
+                raise GraphError(f"duplicate edge {key}")
+            cost = float(cost)
+            if cost < 0 or cost != cost:
+                raise GraphError(f"edge {key} has invalid cost {cost!r}")
+            self._costs[key] = cost
+            self._adjacency.setdefault(u, []).append(v)
+            self._adjacency.setdefault(v, []).append(u)
+        for neighbors in self._adjacency.values():
+            neighbors.sort()
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted(self._adjacency))
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(sorted(self._costs))
+
+    def cost(self, u: NodeId, v: NodeId) -> float:
+        try:
+            return self._costs[_normalize(u, v)]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(self._adjacency.get(node, ()))
+
+    def with_edge_cost(self, u: NodeId, v: NodeId, cost: float) -> "EdgeWeightedGraph":
+        key = _normalize(u, v)
+        if key not in self._costs:
+            raise GraphError(f"no edge between {u} and {v}")
+        costs = dict(self._costs)
+        costs[key] = cost
+        return EdgeWeightedGraph(costs)
+
+    def without_edge(self, u: NodeId, v: NodeId) -> "EdgeWeightedGraph":
+        key = _normalize(u, v)
+        if key not in self._costs:
+            raise GraphError(f"no edge between {u} and {v}")
+        costs = {edge: cost for edge, cost in self._costs.items() if edge != key}
+        return EdgeWeightedGraph(costs)
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> Tuple[float, Tuple[NodeId, ...]]:
+        """Edge-weighted Dijkstra with (cost, hops, path) tie-breaking."""
+        if source not in self._adjacency or target not in self._adjacency:
+            raise UnreachableError(source, target)
+        best: Dict[NodeId, Tuple[float, int, Tuple[NodeId, ...]]] = {
+            source: (0.0, 0, (source,))
+        }
+        finalized: set = set()
+        heap: List[Tuple[Tuple[float, int, Tuple[NodeId, ...]], NodeId]] = [
+            (best[source], source)
+        ]
+        while heap:
+            key, node = heapq.heappop(heap)
+            if node in finalized:
+                continue
+            if key != best.get(node):
+                continue
+            finalized.add(node)
+            if node == target:
+                cost, _hops, path = key
+                return cost, path
+            cost, hops, path = key
+            for neighbor in self.neighbors(node):
+                if neighbor in finalized or neighbor in path:
+                    continue
+                weight = self._costs[_normalize(node, neighbor)]
+                candidate = (cost + weight, hops + 1, path + (neighbor,))
+                incumbent = best.get(neighbor)
+                if incumbent is None or candidate < incumbent:
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        raise UnreachableError(source, target)
+
+    def distance(self, source: NodeId, target: NodeId) -> float:
+        try:
+            return self.shortest_path(source, target)[0]
+        except UnreachableError:
+            return INF
+
+
+@dataclass(frozen=True)
+class NisanRonenResult:
+    """The mechanism's output for one routing instance."""
+
+    source: NodeId
+    target: NodeId
+    path: Tuple[NodeId, ...]
+    path_cost: float
+    payments: Dict[Edge, float]
+
+    @property
+    def total_payment(self) -> float:
+        return float(sum(self.payments.values()))
+
+    @property
+    def overpayment_ratio(self) -> float:
+        if self.path_cost == 0:
+            return 1.0 if self.total_payment == 0 else INF
+        return self.total_payment / self.path_cost
+
+
+def nisan_ronen_mechanism(
+    graph: EdgeWeightedGraph,
+    source: NodeId,
+    target: NodeId,
+) -> NisanRonenResult:
+    """Run the [16] mechanism for one pair.
+
+    Payments are computed with the original ``d_{e=inf} - d_{e=0}``
+    formula; the equivalent marginal form
+    ``c_e + d_{G-e} - d_G`` is asserted in the test suite.
+    Raises :class:`UnreachableError` when pricing is undefined (an edge
+    on the path is a bridge -- the biconnectivity caveat of [16]).
+    """
+    cost, path = graph.shortest_path(source, target)
+    payments: Dict[Edge, float] = {}
+    for u, v in zip(path, path[1:]):
+        edge = _normalize(u, v)
+        detour = graph.without_edge(u, v).distance(source, target)
+        if detour == INF:
+            raise UnreachableError(source, target, avoiding=edge)
+        free = graph.with_edge_cost(u, v, 0.0).distance(source, target)
+        payments[edge] = detour - free
+    return NisanRonenResult(
+        source=source,
+        target=target,
+        path=path,
+        path_cost=cost,
+        payments=payments,
+    )

@@ -1,0 +1,378 @@
+"""Protocol engines: synchronous stages and an asynchronous relaxation.
+
+:class:`SynchronousEngine` is the paper's model (Sect. 5): in each stage
+every node receives the tables its neighbors sent at the end of the
+previous stage, recomputes locally, and sends its own table to all
+neighbors iff it changed.  The engine is generic over the node class, so
+plain BGP and the FPSS price-computing extension run on identical
+machinery and identical messages.
+
+:class:`AsynchronousEngine` drops the synchrony assumption: messages
+carry independent random delays and are processed one at a time.  The
+paper analyses only the synchronous case; the asynchronous engine
+demonstrates (and the tests assert) that the computation is
+self-stabilizing under reordering as well.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.bgp.metrics import ConvergenceReport, StageStats, StateReport
+from repro.bgp.node import BGPNode
+from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
+from repro.exceptions import ConvergenceError, ProtocolError
+from repro.graphs.asgraph import ASGraph
+from repro.types import Cost, NodeId
+
+NodeFactory = Callable[[NodeId, Cost, SelectionPolicy], BGPNode]
+
+#: Relative tolerance below which a price revision is considered
+#: floating-point noise rather than new information.  Price candidates
+#: for the same k-avoiding path can arrive via different neighbors with
+#: differently associated sums; the monotone minimum then "improves" by
+#: one ulp, which must not count as a convergence stage.
+_NOISE_REL_TOL = 1e-9
+
+
+def _default_factory(node_id: NodeId, cost: Cost, policy: SelectionPolicy) -> BGPNode:
+    return BGPNode(node_id, cost, policy)
+
+
+def _materially_different(
+    old_table: Tuple[RouteAdvertisement, ...],
+    new_table: Tuple[RouteAdvertisement, ...],
+) -> bool:
+    """Whether two published tables differ beyond float reassociation.
+
+    Routes (paths and exact costs) must match; price entries may differ
+    within :data:`_NOISE_REL_TOL`.  Exact equality is still what drives
+    retransmission -- this predicate only affects the *stage counting*
+    reported to the convergence experiments.
+    """
+    import math
+
+    if len(old_table) != len(new_table):
+        return True
+    old_by_dest = {advert.destination: advert for advert in old_table}
+    for advert in new_table:
+        old = old_by_dest.get(advert.destination)
+        if old is None:
+            return True
+        if old.path != advert.path or old.cost != advert.cost:
+            return True
+        if dict(old.node_costs) != dict(advert.node_costs):
+            return True
+        if set(old.prices) != set(advert.prices):
+            return True
+        for k, value in advert.prices.items():
+            previous = old.prices[k]
+            if previous == value:
+                continue
+            if math.isinf(previous) or math.isinf(value):
+                return True
+            if not math.isclose(previous, value, rel_tol=_NOISE_REL_TOL, abs_tol=1e-12):
+                return True
+    return False
+
+
+class SynchronousEngine:
+    """The staged computational model of Section 5.
+
+    Stage discipline: a node's outgoing table at the end of stage ``s``
+    is a function of the tables its neighbors had sent by the end of
+    stage ``s - 1``.  Stage 0 is initialization: every node publishes
+    its own self-route.  ``stages`` in the report counts the stages in
+    which at least one node's table changed -- the quantity Theorem 2
+    bounds by ``max(d, d')``.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        policy: Optional[SelectionPolicy] = None,
+        node_factory: NodeFactory = _default_factory,
+        restart_on_events: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.policy = policy or LowestCostPolicy()
+        # Ablation knob (E15): disable the Sect. 6 restart-on-change
+        # semantics to demonstrate why they are necessary.
+        self.restart_on_events = restart_on_events
+        self.nodes: Dict[NodeId, BGPNode] = {
+            node_id: node_factory(node_id, graph.cost(node_id), self.policy)
+            for node_id in graph.nodes
+        }
+        # The engine owns a mutable adjacency so that link dynamics do
+        # not require rebuilding node state.
+        self.adjacency: Dict[NodeId, Set[NodeId]] = {
+            node: set(graph.neighbors(node)) for node in graph.nodes
+        }
+        # What each node most recently sent (per the "send only when
+        # changed" rule we must remember the last transmission).
+        self._published: Dict[NodeId, Tuple[RouteAdvertisement, ...]] = {}
+        # Nodes whose table changed in the previous stage and therefore
+        # transmit at the start of the next one.
+        self._pending: Set[NodeId] = set()
+        self._initialized = False
+        self.stage_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Stage 0: every node publishes its self-route."""
+        for node_id, node in self.nodes.items():
+            self._published[node_id] = node.advertisements()
+            self._pending.add(node_id)
+        self._initialized = True
+        self.stage_count = 0
+
+    def step(self) -> StageStats:
+        """Run one synchronous stage; returns its accounting."""
+        if not self._initialized:
+            raise ProtocolError("engine not initialized; call initialize() first")
+        self.stage_count += 1
+        senders = set(self._pending)
+        messages = 0
+        entries = 0
+        # Deliveries: every pending sender transmits its full table to
+        # each current neighbor.
+        for sender in sorted(senders):
+            table = self._published[sender]
+            table_entries = sum(advert.size_entries() for advert in table)
+            for neighbor in sorted(self.adjacency[sender]):
+                self.nodes[neighbor].receive_table(sender, table)
+                messages += 1
+                entries += table_entries
+        # Local computation + publication of changed tables.
+        changed: Set[NodeId] = set()
+        materially_changed: Set[NodeId] = set()
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            node.decide()
+            adverts = node.advertisements()
+            previous = self._published.get(node_id)
+            if adverts != previous:
+                if previous is None or _materially_different(previous, adverts):
+                    materially_changed.add(node_id)
+                self._published[node_id] = adverts
+                changed.add(node_id)
+        self._pending = changed
+        return StageStats(
+            stage=self.stage_count,
+            nodes_changed=len(materially_changed),
+            messages=messages,
+            entries_sent=entries,
+        )
+
+    def run(self, max_stages: Optional[int] = None) -> ConvergenceReport:
+        """Run stages until quiescence (no table changed).
+
+        The default stage budget is generous (``4n + 16``); exceeding it
+        raises :class:`ConvergenceError`, which for this protocol would
+        indicate an implementation bug, not a protocol property.
+        """
+        if not self._initialized:
+            self.initialize()
+        limit = max_stages if max_stages is not None else 4 * self.graph.num_nodes + 16
+        report = ConvergenceReport(converged=False, stages=0)
+        base_stage = self.stage_count
+        stages_run = 0
+        while self._pending:
+            if stages_run >= limit:
+                raise ConvergenceError(stages=stages_run, limit=limit)
+            stats = self.step()
+            stages_run += 1
+            if stats.nodes_changed or stats.messages:
+                report.record_stage(stats)
+            if stats.nodes_changed:
+                # Stage counts are relative to this run(), so that
+                # reconvergence epochs after dynamic events are measured
+                # from the event, not from engine creation.
+                report.stages = stats.stage - base_stage
+        report.converged = True
+        return report
+
+    @property
+    def quiescent(self) -> bool:
+        return self._initialized and not self._pending
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def fail_link(self, u: NodeId, v: NodeId) -> None:
+        """Remove the link ``(u, v)``; both ends drop the adjacency and
+        everything learned over it, then reconverge on subsequent runs."""
+        if v not in self.adjacency.get(u, ()):  # pragma: no cover - guard
+            raise ProtocolError(f"no live link between {u} and {v}")
+        self.adjacency[u].discard(v)
+        self.adjacency[v].discard(u)
+        for end, other in ((u, v), (v, u)):
+            node = self.nodes[end]
+            node.drop_neighbor(other)
+            node.decide()
+            self._published[end] = node.advertisements()
+            self._pending.add(end)
+        self._restart_derived_state()
+
+    def restore_link(self, u: NodeId, v: NodeId) -> None:
+        """Re-add a previously failed link."""
+        if u not in self.nodes or v not in self.nodes:
+            raise ProtocolError(f"unknown endpoint on link ({u}, {v})")
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+        # Both endpoints must (re)transmit their tables over the new link;
+        # marking them pending re-sends to all neighbors, which is the
+        # worst-case behavior the model accounts anyway.
+        self._pending.update((u, v))
+        self._restart_derived_state()
+
+    def change_cost(self, node_id: NodeId, cost: Cost) -> None:
+        """Node *node_id* re-declares its per-packet cost."""
+        node = self.nodes[node_id]
+        node.set_declared_cost(cost)
+        node.decide()
+        self._published[node_id] = node.advertisements()
+        self._pending.add(node_id)
+        self._restart_derived_state()
+
+    def _restart_derived_state(self) -> None:
+        """Apply Sect. 6's restart semantics after a network change.
+
+        "The process of converging begins again each time a route is
+        changed."  For price-computing networks this must be a *full*
+        protocol restart: price state derived from any pre-event
+        advertisement is unusable (a stale route cost can make a price
+        candidate undercut the new true price, and the monotone minimum
+        never recovers), and a node cannot locally tell pre-event
+        information from post-event information.  Plain BGP networks
+        are left warm -- path-vector routing is self-correcting and its
+        incremental reconvergence is itself worth measuring.
+        """
+        needs_restart = self.restart_on_events and any(
+            node.RESTART_ON_EVENT for node in self.nodes.values()
+        )
+        if needs_restart:
+            self.full_restart()
+
+    def full_restart(self) -> None:
+        """Forget everything learned and reconverge from scratch (the
+        paper's convergence-begins-again model)."""
+        for node_id, node in self.nodes.items():
+            node.restart()
+            self._published[node_id] = node.advertisements()
+            self._pending.add(node_id)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def node(self, node_id: NodeId) -> BGPNode:
+        return self.nodes[node_id]
+
+    def state_report(self) -> StateReport:
+        loc = {}
+        adj = {}
+        price = {}
+        for node_id, node in self.nodes.items():
+            loc[node_id] = node.table_size_entries()
+            adj[node_id] = node.rib_in.size_entries()
+            price[node_id] = sum(
+                len(node._prices_for(destination)) for destination in node.routes
+            )
+        return StateReport(
+            loc_rib_entries=loc, adj_rib_in_entries=adj, price_entries=price
+        )
+
+
+class AsynchronousEngine:
+    """Event-driven relaxation of the stage model.
+
+    Every table transmission is an event with an independent random
+    delay in ``[min_delay, max_delay]``; a node processes one incoming
+    table at a time, recomputes, and (if its table changed) schedules
+    transmissions to all neighbors.  Termination: the event queue drains
+    (guaranteed for the static instances tested -- route keys strictly
+    improve and price arrays stabilize with them).
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        policy: Optional[SelectionPolicy] = None,
+        node_factory: NodeFactory = _default_factory,
+        seed: int = 0,
+        min_delay: float = 0.1,
+        max_delay: float = 1.0,
+        fifo_links: bool = True,
+    ) -> None:
+        if not 0 < min_delay <= max_delay:
+            raise ProtocolError(
+                f"invalid delay range [{min_delay}, {max_delay}]"
+            )
+        # Ablation knob (E15): drop the per-link FIFO guarantee to show
+        # that reordered tables (impossible over TCP) corrupt state.
+        self.fifo_links = fifo_links
+        self.graph = graph
+        self.policy = policy or LowestCostPolicy()
+        self.nodes: Dict[NodeId, BGPNode] = {
+            node_id: node_factory(node_id, graph.cost(node_id), self.policy)
+            for node_id in graph.nodes
+        }
+        self._rng = random.Random(seed)
+        self._min_delay = min_delay
+        self._max_delay = max_delay
+        self._clock = 0.0
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, NodeId, NodeId, Tuple[RouteAdvertisement, ...]]] = []
+        self._published: Dict[NodeId, Tuple[RouteAdvertisement, ...]] = {}
+        # BGP sessions run over TCP: per-link delivery is FIFO.  Without
+        # this, a newer table can overtake an older one and the receiver
+        # would overwrite fresh state with stale state.
+        self._link_clock: Dict[Tuple[NodeId, NodeId], float] = {}
+        self.deliveries = 0
+
+    def initialize(self) -> None:
+        for node_id, node in self.nodes.items():
+            self._broadcast(node_id, node.advertisements())
+
+    def _broadcast(self, sender: NodeId, table: Tuple[RouteAdvertisement, ...]) -> None:
+        self._published[sender] = table
+        for neighbor in self.graph.neighbors(sender):
+            delay = self._rng.uniform(self._min_delay, self._max_delay)
+            link = (sender, neighbor)
+            when = self._clock + delay
+            if self.fifo_links:
+                when = max(when, self._link_clock.get(link, 0.0))
+                self._link_clock[link] = when
+            heapq.heappush(
+                self._queue,
+                (when, next(self._sequence), sender, neighbor, table),
+            )
+
+    def run(self, max_deliveries: Optional[int] = None) -> ConvergenceReport:
+        if not self._queue and not self._published:
+            self.initialize()
+        limit = max_deliveries if max_deliveries is not None else 200 * self.graph.num_nodes ** 2
+        while self._queue:
+            if self.deliveries >= limit:
+                raise ConvergenceError(stages=self.deliveries, limit=limit)
+            when, _seq, sender, receiver, table = heapq.heappop(self._queue)
+            self._clock = when
+            self.deliveries += 1
+            node = self.nodes[receiver]
+            node.receive_table(sender, table)
+            node.decide()
+            adverts = node.advertisements()
+            if adverts != self._published.get(receiver):
+                self._broadcast(receiver, adverts)
+        report = ConvergenceReport(converged=True, stages=0)
+        report.total_messages = self.deliveries
+        return report
+
+    def node(self, node_id: NodeId) -> BGPNode:
+        return self.nodes[node_id]

@@ -1,0 +1,69 @@
+"""Dynamic events: the "route changes" of Section 6.
+
+The paper notes that convergence restarts whenever a route changes; the
+experiment on dynamics (E10) drives the engines through scripted event
+sequences built from these three primitives and measures the
+re-convergence stages against the bound for the *new* instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.bgp.engine import SynchronousEngine
+from repro.types import Cost, NodeId
+
+
+class NetworkEvent(abc.ABC):
+    """A scripted change applied to a running engine."""
+
+    @abc.abstractmethod
+    def apply(self, engine: SynchronousEngine) -> None:
+        """Mutate the engine's network; convergence restarts after."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human description for experiment logs."""
+
+
+@dataclass(frozen=True)
+class LinkFailure(NetworkEvent):
+    """A bidirectional interconnection goes down."""
+
+    u: NodeId
+    v: NodeId
+
+    def apply(self, engine: SynchronousEngine) -> None:
+        engine.fail_link(self.u, self.v)
+
+    def describe(self) -> str:
+        return f"link ({self.u}, {self.v}) fails"
+
+
+@dataclass(frozen=True)
+class LinkRecovery(NetworkEvent):
+    """A previously failed interconnection comes back."""
+
+    u: NodeId
+    v: NodeId
+
+    def apply(self, engine: SynchronousEngine) -> None:
+        engine.restore_link(self.u, self.v)
+
+    def describe(self) -> str:
+        return f"link ({self.u}, {self.v}) recovers"
+
+
+@dataclass(frozen=True)
+class CostChange(NetworkEvent):
+    """An AS re-declares its per-packet transit cost."""
+
+    node: NodeId
+    new_cost: Cost
+
+    def apply(self, engine: SynchronousEngine) -> None:
+        engine.change_cost(self.node, self.new_cost)
+
+    def describe(self) -> str:
+        return f"node {self.node} re-declares cost {self.new_cost}"

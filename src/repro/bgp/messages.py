@@ -1,0 +1,128 @@
+"""Routing messages.
+
+The only message in the model is the route advertisement: "each router
+sends its routing table and its declared cost to its neighbors"
+(Sect. 5).  One :class:`RouteAdvertisement` is one routing-table row in
+flight; a full table exchange is a list of them.
+
+The FPSS extension (Sect. 6) adds the price array to the *same*
+message -- no new message types are introduced, which keeps the
+communication pattern of BGP intact and is what Theorem 2's
+constant-factor claim is about.  Plain BGP simply leaves ``prices``
+empty.
+
+Advertisements are immutable snapshots: the ``(path, cost, node_costs,
+prices)`` fields were computed together by the sender and must be
+interpreted together by the receiver (the correctness of the price
+update rules relies on this internal consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.types import Cost, NodeId, PathTuple
+
+
+@dataclass(frozen=True)
+class RouteAdvertisement:
+    """One routing-table row sent from ``sender`` to a neighbor.
+
+    Attributes
+    ----------
+    sender:
+        The advertising AS; always ``path[0]``.
+    destination:
+        The destination AS; always ``path[-1]``.
+    path:
+        The advertised AS path, sender first.  A destination advertises
+        itself with the one-node path ``(destination,)``.
+    cost:
+        The transit cost of ``path`` (destination-first accumulation).
+    node_costs:
+        Declared per-packet costs of every node on ``path`` -- this is
+        how cost declarations propagate through the network.
+    prices:
+        The sender's VCG price array for this destination:
+        ``k -> p^k_{sender,destination}`` for each transit node ``k`` on
+        ``path``.  Entries may be ``inf`` while the computation is still
+        converging.  Empty for plain BGP.
+    generation:
+        The price-computation epoch this advertisement belongs to.
+        Section 6 requires price convergence to "start over" whenever
+        the network changes; tagging advertisements with an epoch is the
+        distributed realization: a restarted node ignores price arrays
+        from earlier epochs (their values priced the *old* network and
+        could undercut the new true prices, which a monotone minimum
+        would never recover from).  Routes ignore the tag -- path-vector
+        routing is self-correcting without it.
+    """
+
+    sender: NodeId
+    destination: NodeId
+    path: PathTuple
+    cost: Cost
+    node_costs: Mapping[NodeId, Cost] = field(default_factory=dict)
+    prices: Mapping[NodeId, Cost] = field(default_factory=dict)
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ProtocolError("advertisement with empty path")
+        if self.path[0] != self.sender:
+            raise ProtocolError(
+                f"path {self.path} does not start at sender {self.sender}"
+            )
+        if self.path[-1] != self.destination:
+            raise ProtocolError(
+                f"path {self.path} does not end at destination {self.destination}"
+            )
+        if len(set(self.path)) != len(self.path):
+            raise ProtocolError(f"advertised path revisits a node: {self.path}")
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def is_self_route(self) -> bool:
+        """Whether this is a destination advertising itself."""
+        return len(self.path) == 1
+
+    @property
+    def sender_cost(self) -> Cost:
+        """The sender's own declared cost, as carried by the message."""
+        try:
+            return self.node_costs[self.sender]
+        except KeyError:
+            raise ProtocolError(
+                f"advertisement from {self.sender} does not carry its own cost"
+            ) from None
+
+    def size_entries(self) -> int:
+        """Message size in table entries: AS numbers on the path, cost
+        scalars, and price scalars.  Used by the communication
+        accounting of experiment E6."""
+        return len(self.path) + len(self.node_costs) + len(self.prices)
+
+
+def table_to_advertisements(
+    sender: NodeId,
+    table: Mapping[NodeId, "object"],
+) -> Tuple[RouteAdvertisement, ...]:
+    """Convenience for tests: materialize a full-table exchange."""
+    adverts = []
+    for destination, entry in sorted(table.items()):
+        adverts.append(
+            RouteAdvertisement(
+                sender=sender,
+                destination=destination,
+                path=entry.path,
+                cost=entry.cost,
+                node_costs=dict(entry.node_costs),
+                prices=dict(getattr(entry, "prices", {})),
+            )
+        )
+    return tuple(adverts)

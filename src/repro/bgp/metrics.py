@@ -1,0 +1,71 @@
+"""Complexity accounting: the measures of Section 5.
+
+The paper adopts three complexity measures for BGP-based computation:
+stages to convergence, total communication (number and size of routing
+tables exchanged), and routing-table size.  The engine fills a
+:class:`ConvergenceReport` with all three so experiments E5/E6 can put
+measured values next to the proven bounds (``d``, ``max(d, d')``,
+``O(nd)`` entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.types import NodeId
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting."""
+
+    stage: int
+    nodes_changed: int
+    messages: int
+    entries_sent: int
+
+
+@dataclass
+class ConvergenceReport:
+    """The outcome of running a protocol engine to quiescence."""
+
+    converged: bool
+    stages: int
+    total_messages: int = 0
+    total_entries_sent: int = 0
+    per_stage: List[StageStats] = field(default_factory=list)
+
+    def record_stage(self, stats: StageStats) -> None:
+        self.per_stage.append(stats)
+        self.total_messages += stats.messages
+        self.total_entries_sent += stats.entries_sent
+
+    @property
+    def max_entries_in_stage(self) -> int:
+        return max((s.entries_sent for s in self.per_stage), default=0)
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """Per-node state snapshot after convergence (experiment E6)."""
+
+    loc_rib_entries: Dict[NodeId, int]
+    adj_rib_in_entries: Dict[NodeId, int]
+    price_entries: Dict[NodeId, int]
+
+    @property
+    def max_loc_rib(self) -> int:
+        return max(self.loc_rib_entries.values(), default=0)
+
+    @property
+    def max_price_entries(self) -> int:
+        return max(self.price_entries.values(), default=0)
+
+    @property
+    def total_state(self) -> int:
+        return (
+            sum(self.loc_rib_entries.values())
+            + sum(self.adj_rib_in_entries.values())
+            + sum(self.price_entries.values())
+        )

@@ -1,0 +1,205 @@
+"""A plain path-vector (BGP) node.
+
+A node's behavior per stage is exactly the paper's: read the tables
+received from neighbors, recompute the selected route per destination
+from the stored Adj-RIB-In, and (the engine's job) send the own table if
+it changed.  Route selection is a pure function of the Adj-RIB-In:
+
+* candidates for destination ``j`` are the neighbor advertisements for
+  ``j`` whose path does not already contain this node (path-vector loop
+  suppression), each extended by one hop;
+* extension accumulates cost destination-first: ``cost' = cost + c_a``
+  where ``a`` is the advertising neighbor (zero when ``a`` *is* the
+  destination), matching the centralized Dijkstra bit for bit;
+* the policy's total order picks the winner.
+
+Subclasses (the FPSS price-computing node) hook :meth:`_after_decide`
+to derive additional per-destination state from the same messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
+from repro.bgp.table import AdjRIBIn, RouteEntry
+from repro.exceptions import ProtocolError
+from repro.types import Cost, NodeId, validate_cost
+
+
+class BGPNode:
+    """One AS running the path-vector protocol."""
+
+    #: Whether a network event requires this node type's network to do a
+    #: full protocol restart (Sect. 6's "convergence begins again").
+    #: Plain BGP reconverges warm; price-computing nodes override this.
+    RESTART_ON_EVENT = False
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        declared_cost: Cost,
+        policy: Optional[SelectionPolicy] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.declared_cost = validate_cost(declared_cost, what=f"cost of node {node_id}")
+        self.policy = policy or LowestCostPolicy()
+        self.rib_in = AdjRIBIn()
+        self.routes: Dict[NodeId, RouteEntry] = {}
+        # Price-computation epoch; bumped by on_network_event() so that
+        # restarted price state never mixes with pre-event information.
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def receive_table(
+        self,
+        neighbor: NodeId,
+        adverts: Iterable[RouteAdvertisement],
+    ) -> None:
+        """Store a full-table exchange from *neighbor*."""
+        table: Dict[NodeId, RouteAdvertisement] = {}
+        for advert in adverts:
+            if advert.sender != neighbor:
+                raise ProtocolError(
+                    f"node {self.node_id} got advert from {advert.sender} "
+                    f"on the session with {neighbor}"
+                )
+            table[advert.destination] = advert
+        self.rib_in.replace_neighbor_table(neighbor, table)
+
+    def drop_neighbor(self, neighbor: NodeId) -> None:
+        """Forget a failed adjacency."""
+        self.rib_in.drop_neighbor(neighbor)
+
+    def set_declared_cost(self, cost: Cost) -> None:
+        """Change this node's declared cost (dynamics / strategic play).
+        Takes effect at the next decision."""
+        self.declared_cost = validate_cost(cost, what=f"cost of node {self.node_id}")
+
+    # ------------------------------------------------------------------
+    # Decision process
+    # ------------------------------------------------------------------
+    def decide(self) -> Set[NodeId]:
+        """Recompute selected routes from the Adj-RIB-In.
+
+        Returns the destinations whose selected route changed (used by
+        subclasses and by tests; the engine detects change at the
+        advertisement level).
+        """
+        changed: Set[NodeId] = set()
+        destinations = set(self.rib_in.destinations())
+        destinations.discard(self.node_id)
+        for destination in sorted(destinations):
+            entry = self._select_route(destination)
+            previous = self.routes.get(destination)
+            if entry is None:
+                if previous is not None:
+                    del self.routes[destination]
+                    changed.add(destination)
+                continue
+            if previous is None or previous.path != entry.path or previous.cost != entry.cost:
+                self.routes[destination] = entry
+                changed.add(destination)
+            else:
+                # Refresh the cost snapshot even when the route is
+                # unchanged (a node on the path may have re-declared).
+                if dict(previous.node_costs) != dict(entry.node_costs):
+                    self.routes[destination] = entry
+                    changed.add(destination)
+        # Routes to destinations that vanished from every neighbor table.
+        for destination in list(self.routes):
+            if destination not in destinations:
+                del self.routes[destination]
+                changed.add(destination)
+        self._after_decide(changed)
+        return changed
+
+    def _select_route(self, destination: NodeId) -> Optional[RouteEntry]:
+        best_key: Optional[Tuple] = None
+        best_entry: Optional[RouteEntry] = None
+        for neighbor, advert in sorted(self.rib_in.adverts_for(destination).items()):
+            if self.node_id in advert.path:
+                continue  # loop suppression
+            extension_cost = 0.0 if advert.sender == destination else advert.sender_cost
+            cost = advert.cost + extension_cost
+            path = (self.node_id,) + advert.path
+            key = self.policy.key(cost, path)
+            if best_key is None or key < best_key:
+                best_key = key
+                node_costs = dict(advert.node_costs)
+                node_costs[self.node_id] = self.declared_cost
+                best_entry = RouteEntry(path=path, cost=cost, node_costs=node_costs)
+        return best_entry
+
+    def _after_decide(self, changed_destinations: Set[NodeId]) -> None:
+        """Hook for subclasses (price computation); default: nothing."""
+
+    def restart(self) -> None:
+        """Forget all learned protocol state (full restart).
+
+        The paper's Sect. 6 requires convergence to "start over
+        whenever there is a route change"; a restart advances the
+        generation tag so any straggling pre-event advertisement is
+        recognizably stale, and clears the RIBs.  Subclasses clear
+        their derived (price) state on top.
+        """
+        self.generation += 1
+        self.rib_in = AdjRIBIn()
+        self.routes = {}
+
+    # ------------------------------------------------------------------
+    # Advertisement production
+    # ------------------------------------------------------------------
+    def advertisements(self) -> Tuple[RouteAdvertisement, ...]:
+        """The node's current full table as messages, self-route first."""
+        adverts: List[RouteAdvertisement] = [self.self_advertisement()]
+        for destination in sorted(self.routes):
+            adverts.append(self._advert_for(destination))
+        return tuple(adverts)
+
+    def self_advertisement(self) -> RouteAdvertisement:
+        """The advertisement for this node as a destination."""
+        return RouteAdvertisement(
+            sender=self.node_id,
+            destination=self.node_id,
+            path=(self.node_id,),
+            cost=0.0,
+            node_costs={self.node_id: self.declared_cost},
+            prices={},
+            generation=self.generation,
+        )
+
+    def _advert_for(self, destination: NodeId) -> RouteAdvertisement:
+        entry = self.routes[destination]
+        return RouteAdvertisement(
+            sender=self.node_id,
+            destination=destination,
+            path=entry.path,
+            cost=entry.cost,
+            node_costs=dict(entry.node_costs),
+            prices=self._prices_for(destination),
+            generation=self.generation,
+        )
+
+    def _prices_for(self, destination: NodeId) -> Mapping[NodeId, Cost]:
+        """Price array attached to outgoing adverts; plain BGP has none."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def route(self, destination: NodeId) -> Optional[RouteEntry]:
+        return self.routes.get(destination)
+
+    def table_size_entries(self) -> int:
+        """Loc-RIB size in entries (the O(nd) of Sect. 5)."""
+        return sum(entry.size_entries() for entry in self.routes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(id={self.node_id}, "
+            f"cost={self.declared_cost}, routes={len(self.routes)})"
+        )

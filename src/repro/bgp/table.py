@@ -1,0 +1,110 @@
+"""Routing-table data structures: the Loc-RIB and Adj-RIB-In of a node.
+
+Terminology follows real BGP:
+
+* **Adj-RIB-In** -- the last advertisement received from each neighbor,
+  per destination.  The paper's footnote 6 notes that nodes keep the
+  routing tables received from each neighbor; this is that state.
+* **Loc-RIB** (:class:`RouteEntry` per destination) -- the selected
+  route: path, cost, and the declared costs of the nodes on the path
+  (a consistent snapshot assembled from the chosen advertisement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.types import Cost, NodeId, PathTuple
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """A selected route toward one destination."""
+
+    path: PathTuple
+    cost: Cost
+    node_costs: Mapping[NodeId, Cost]
+
+    @property
+    def destination(self) -> NodeId:
+        return self.path[-1]
+
+    @property
+    def next_hop(self) -> NodeId:
+        """The selected parent in ``T(destination)``."""
+        if len(self.path) < 2:
+            raise ValueError("self-route has no next hop")
+        return self.path[1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def transit(self) -> PathTuple:
+        """The transit nodes of the selected path."""
+        return self.path[1:-1]
+
+    def size_entries(self) -> int:
+        """State size in table entries (AS numbers + cost scalars)."""
+        return len(self.path) + len(self.node_costs)
+
+
+class AdjRIBIn:
+    """Per-neighbor advertisement store.
+
+    ``store[neighbor][destination]`` is the last advertisement received
+    from that neighbor for that destination.  A full-table exchange
+    replaces the neighbor's slice wholesale (the model of Sect. 5 sends
+    whole tables; incremental updates are a real-BGP optimization the
+    paper explicitly sets aside for worst-case accounting).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[NodeId, Dict[NodeId, RouteAdvertisement]] = {}
+
+    def replace_neighbor_table(
+        self,
+        neighbor: NodeId,
+        adverts: Mapping[NodeId, RouteAdvertisement],
+    ) -> None:
+        self._store[neighbor] = dict(adverts)
+
+    def drop_neighbor(self, neighbor: NodeId) -> None:
+        """Forget everything learned from *neighbor* (link failure)."""
+        self._store.pop(neighbor, None)
+
+    def neighbors(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted(self._store))
+
+    def advert(self, neighbor: NodeId, destination: NodeId) -> Optional[RouteAdvertisement]:
+        return self._store.get(neighbor, {}).get(destination)
+
+    def destinations(self) -> Tuple[NodeId, ...]:
+        """All destinations any stored advertisement mentions."""
+        seen = set()
+        for table in self._store.values():
+            seen.update(table)
+        return tuple(sorted(seen))
+
+    def adverts_for(self, destination: NodeId) -> Dict[NodeId, RouteAdvertisement]:
+        """``neighbor -> advert`` for one destination."""
+        result: Dict[NodeId, RouteAdvertisement] = {}
+        for neighbor, table in self._store.items():
+            advert = table.get(destination)
+            if advert is not None:
+                result[neighbor] = advert
+        return result
+
+    def size_entries(self) -> int:
+        """Total stored entries across neighbors (Adj-RIB-In state)."""
+        return sum(
+            advert.size_entries()
+            for table in self._store.values()
+            for advert in table.values()
+        )
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.neighbors())

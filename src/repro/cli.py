@@ -1,0 +1,75 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Subcommands::
+
+    repro-experiments list                    # show experiment ids
+    repro-experiments run E5 [--scale full]   # run one, print tables
+    repro-experiments all [--scale full] [--write-md EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.registry import list_experiments
+from repro.experiments.runner import run_all, run_experiment, write_experiments_md
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction harness for 'A BGP-based mechanism for "
+            "lowest-cost routing' (PODC 2002)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiment ids and titles")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. E5")
+    run_parser.add_argument("--scale", choices=("small", "full"), default="small")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", choices=("small", "full"), default="small")
+    all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument(
+        "--write-md",
+        metavar="PATH",
+        default=None,
+        help="also write the results as markdown (EXPERIMENTS.md format)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, title in list_experiments():
+            print(f"{experiment_id:5s} {title}")
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+        print(result.render())
+        return 0 if result.passed else 1
+    if args.command == "all":
+        results = run_all(scale=args.scale, seed=args.seed)
+        for result in results:
+            print(result.render())
+            print()
+        passed = sum(1 for result in results if result.passed)
+        print(f"summary: {passed}/{len(results)} experiments PASS")
+        if args.write_md:
+            write_experiments_md(Path(args.write_md), results, scale=args.scale)
+            print(f"wrote {args.write_md}")
+        return 0 if passed == len(results) else 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

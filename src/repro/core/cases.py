@@ -1,0 +1,177 @@
+"""The four neighbor cases of Section 6 as pure functions.
+
+For node ``i`` computing prices toward destination ``j``, every
+neighbor ``a`` contributes candidate values for ``p^k_ij`` according to
+its relation to ``i`` in the route tree ``T(j)``:
+
+=====  ==============================  =====================================
+case   relation                        candidate for ``p^k_ij``
+=====  ==============================  =====================================
+(i)    ``a`` is ``i``'s parent          ``p^k_aj``                  (Eq. 2)
+(ii)   ``a`` is ``i``'s child           ``p^k_aj + c_i + c_a``      (Eq. 3)
+(iii)  neither, ``k`` on ``P(a, j)``    ``p^k_aj + c_a + c(a,j) - c(i,j)``
+                                                                    (Eq. 4)
+(iv)   neither, ``k`` not on ``P(a,j)`` ``c_k + c_a + c(a,j) - c(i,j)``
+                                                                    (Eq. 5)
+=====  ==============================  =====================================
+
+Each candidate is an upper bound on the true price in *every* protocol
+state (each corresponds to a concrete k-avoiding walk from ``i``), and
+by Lemma 1 the bound is tight for the neighbor that begins the true
+lowest-cost k-avoiding path -- so the minimum over neighbors converges
+to the exact price.
+
+Exclusions: a neighbor never contributes a candidate for ``k`` equal to
+itself (the constructions route the packet through ``a``), and the
+destination ``j`` as a neighbor contributes the *direct-link* detour
+``c_k + 0 - c(i,j)`` (appending the link ``i-j`` costs nothing in
+transit because ``j`` is the endpoint).
+
+The functions here are deliberately free of node/engine state so the
+unit tests can exercise every case in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.types import Cost, NodeId, PathTuple
+
+INF = float("inf")
+
+
+class NeighborRelation(enum.Enum):
+    """Where a neighbor sits relative to ``i`` in ``T(j)``."""
+
+    PARENT = "parent"
+    CHILD = "child"
+    OTHER = "other"
+
+
+def classify_neighbor(
+    self_id: NodeId,
+    my_path: PathTuple,
+    neighbor: NodeId,
+    advert: Optional[RouteAdvertisement],
+) -> NeighborRelation:
+    """Classify *neighbor* using only locally available information.
+
+    ``i`` can infer the relation from the routing tables it has received
+    (Sect. 6.1): the parent is ``i``'s own next hop; a child is a
+    neighbor whose advertised path has ``i`` as *its* next hop.
+    """
+    if len(my_path) >= 2 and my_path[1] == neighbor:
+        return NeighborRelation.PARENT
+    if advert is not None and len(advert.path) >= 2 and advert.path[1] == self_id:
+        return NeighborRelation.CHILD
+    return NeighborRelation.OTHER
+
+
+def price_candidates(
+    self_id: NodeId,
+    self_cost: Cost,
+    my_path: PathTuple,
+    my_cost: Cost,
+    my_node_costs: Mapping[NodeId, Cost],
+    neighbor: NodeId,
+    advert: Optional[RouteAdvertisement],
+    literal_child_formula: bool = False,
+) -> Dict[NodeId, Cost]:
+    """Candidate prices ``k -> value`` contributed by one neighbor.
+
+    Parameters mirror the information genuinely available at ``i``:
+    its own selected route (path, cost, per-node cost snapshot) and the
+    last advertisement stored from the neighbor.  Only transit nodes of
+    ``i``'s own path get candidates; missing/unusable combinations are
+    simply absent from the result (the caller takes a minimum).
+
+    *literal_child_formula* evaluates Eq. 3 exactly as printed
+    (``p^k_aj + c_i + c_a``) for child neighbors instead of the
+    advert-consistent rewriting.  The two coincide at convergence and
+    on synchronized static runs, but the literal form silently assumes
+    the child's advertised cost reflects ``i``'s *current* cost; under
+    asynchrony a stale child advertisement can then push a candidate
+    below the true price, which the monotone minimum never recovers
+    from.  The flag exists for the E15 ablation that demonstrates
+    exactly that failure; production callers leave it off.
+    """
+    candidates: Dict[NodeId, Cost] = {}
+    transit = my_path[1:-1]
+    if not transit:
+        return candidates
+    destination = my_path[-1]
+
+    if advert is None:
+        # Only the destination itself never advertises anything beyond
+        # its self-route; with no stored advert there is no information.
+        return candidates
+
+    relation = classify_neighbor(self_id, my_path, neighbor, advert)
+    neighbor_cost = advert.sender_cost
+
+    if relation is NeighborRelation.PARENT:
+        # Case (i): my path continues through the parent; its price for
+        # any shared transit node k (all of mine except the parent
+        # itself) transfers unchanged.  My route was selected from this
+        # very advertisement, so the Eq. 2 premise c(i,j) = c(a,j) + c_a
+        # holds exactly (bit for bit).
+        for k in transit:
+            if k == neighbor:
+                continue
+            price = advert.prices.get(k)
+            if price is not None:
+                candidates[k] = price
+        return candidates
+
+    if literal_child_formula and relation is NeighborRelation.CHILD:
+        # Eq. 3 exactly as printed -- correct at convergence, unsound
+        # against stale advertisements (see docstring).
+        for k in transit:
+            if k == neighbor:
+                continue
+            price = advert.prices.get(k)
+            if price is not None:
+                candidates[k] = price + self_cost + neighbor_cost
+        return candidates
+
+    # All other neighbors -- children (case ii) and unrelated nodes
+    # (cases iii and iv) -- are handled by one *advert-consistent* pair
+    # of formulas.  Algebraically, Eq. 3 is Eq. 4 with the child premise
+    # c(a,j) = c_i + c(i,j) substituted in, so evaluating Eq. 4 directly
+    # gives the same value at convergence; crucially it only combines
+    # quantities snapshotted together in the advert (p^k_aj with c(a,j))
+    # plus my own current c(i,j), which keeps every candidate an upper
+    # bound on the true price even when the advert is stale.  (The
+    # original Eq. 3 form `p^k_aj + c_i + c_a` silently assumes the
+    # child's advertised cost reflects my *current* cost; under
+    # asynchrony or network dynamics that assumption fails and the
+    # candidate could drop below the true price, which a monotone
+    # minimum never recovers from.)
+    #
+    # The detour through `a` costs  c_a + c(a, j)  in transit -- except
+    # when the neighbor *is* the destination, where the direct link
+    # costs 0.
+    if neighbor == destination:
+        detour_base = 0.0
+        advert_path = (destination,)
+    else:
+        detour_base = advert.cost + neighbor_cost
+        advert_path = advert.path
+
+    for k in transit:
+        if k == neighbor:
+            continue  # the detour routes through a; useless for k == a
+        if k in advert_path:
+            # Cases (ii)/(iii): k also sits on the neighbor's path;
+            # shift its price by the detour/LCP cost difference.
+            price = advert.prices.get(k)
+            if price is not None:
+                candidates[k] = price + neighbor_cost + advert.cost - my_cost
+        else:
+            # Case (iv): the neighbor's own LCP avoids k already.
+            c_k = my_node_costs.get(k)
+            if c_k is not None:
+                candidates[k] = c_k + detour_base - my_cost
+    return candidates

@@ -1,0 +1,44 @@
+"""The ``max(d, d')`` convergence bound of Theorem 2.
+
+``d``  -- maximum AS hops over all selected LCPs;
+``d'`` -- maximum AS hops over all lowest-cost k-avoiding paths
+          ``P_{-k}(c; i, j)`` for transit ``k`` on selected LCPs.
+
+Lemma 2 shows node ``i`` knows its correct routes and prices after
+``d_i = max(|P(c; i, j)|, |P_{-k}(c; i, j)|)`` stages; Corollary 1
+globalizes this to ``max(d, d')``.  Experiment E5 measures the actual
+stage counts of the engine against :func:`convergence_bound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.metrics import ConvergenceReport
+from repro.graphs.asgraph import ASGraph
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.avoiding import max_avoiding_hops
+
+
+@dataclass(frozen=True)
+class ConvergenceBound:
+    """The instance-specific quantities of Theorem 2."""
+
+    d: int
+    d_prime: int
+
+    @property
+    def stages(self) -> int:
+        """The bound itself: ``max(d, d')``."""
+        return max(self.d, self.d_prime)
+
+    def satisfied_by(self, report: ConvergenceReport, slack: int = 0) -> bool:
+        """Whether a measured run respected the bound (plus *slack*
+        stages of tolerance; the reproduction passes with slack 0)."""
+        return report.stages <= self.stages + slack
+
+
+def convergence_bound(graph: ASGraph) -> ConvergenceBound:
+    """Compute ``d`` and ``d'`` for *graph* with the canonical routing."""
+    routes = all_pairs_lcp(graph)
+    return ConvergenceBound(d=routes.max_hops(), d_prime=max_avoiding_hops(graph))

@@ -1,0 +1,145 @@
+"""The price-computing BGP node: Figure 3's algorithm.
+
+A :class:`PriceComputingNode` is a plain path-vector node plus, per
+destination ``j``, a price row ``k -> p^k_ij`` over the transit nodes of
+its selected path.  Rows ride on the ordinary advertisement exchange --
+there are no other messages.
+
+Two update modes are provided:
+
+* :attr:`UpdateMode.MONOTONE` -- the paper's algorithm: rows start at
+  infinity, entries only decrease (min-updates with the case-(i)-(iv)
+  candidates), and a row is reset to infinity whenever the selected
+  route to its destination changes ("convergence must start over
+  whenever there is a route change", Sect. 6).
+* :attr:`UpdateMode.RECOMPUTE` -- a stateless fixpoint variant: each
+  stage the row is recomputed from scratch as the minimum over the
+  stored neighbor advertisements.  Same fixpoint by Lemma 1; useful as
+  an independent cross-check of the monotone algorithm.
+
+Both modes converge to the centralized Theorem 1 prices within
+``max(d, d')`` stages on static instances; the test suite asserts
+agreement between the modes, the centralized table, and the bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional, Set
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.bgp.node import BGPNode
+from repro.bgp.policy import SelectionPolicy
+from repro.core.cases import price_candidates
+from repro.types import Cost, NodeId
+
+INF = float("inf")
+
+
+class UpdateMode(enum.Enum):
+    """How the price rows are maintained across stages."""
+
+    MONOTONE = "monotone"
+    RECOMPUTE = "recompute"
+
+
+class PriceComputingNode(BGPNode):
+    """A BGP node that additionally computes the VCG price rows."""
+
+    #: Sect. 6: price convergence must start over on network changes --
+    #: price state derived from pre-event advertisements can undercut
+    #: the new true prices, and the monotone minimum never recovers.
+    RESTART_ON_EVENT = True
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        declared_cost: Cost,
+        policy: Optional[SelectionPolicy] = None,
+        mode: UpdateMode = UpdateMode.MONOTONE,
+        literal_child_formula: bool = False,
+    ) -> None:
+        super().__init__(node_id, declared_cost, policy)
+        self.mode = mode
+        # Ablation knob (E15): evaluate Eq. 3 exactly as printed.
+        self.literal_child_formula = literal_child_formula
+        # destination -> {transit node -> current price estimate}
+        self.price_rows: Dict[NodeId, Dict[NodeId, Cost]] = {}
+
+    # ------------------------------------------------------------------
+    # Hook from the base decision process
+    # ------------------------------------------------------------------
+    def _after_decide(self, changed_destinations: Set[NodeId]) -> None:
+        # Drop rows for destinations we no longer route to.
+        for destination in list(self.price_rows):
+            if destination not in self.routes:
+                del self.price_rows[destination]
+        for destination, entry in self.routes.items():
+            transit = entry.transit
+            if not transit:
+                self.price_rows[destination] = {}
+                continue
+            fresh_row = {k: INF for k in transit}
+            if self.mode is UpdateMode.RECOMPUTE:
+                row = fresh_row
+            elif destination in changed_destinations or destination not in self.price_rows:
+                # Monotone mode: the row restarts whenever the route
+                # changes (its entries are tied to the current c(i, j)).
+                row = fresh_row
+            else:
+                row = self.price_rows[destination]
+            for neighbor in self.rib_in.neighbors():
+                advert = self.rib_in.advert(neighbor, destination)
+                if advert is not None and advert.generation < self.generation:
+                    # Pre-restart price information priced the old
+                    # network; using it could undercut the new true
+                    # prices.  (Route selection still uses such adverts
+                    # -- path-vector routing self-corrects.)
+                    continue
+                candidates = price_candidates(
+                    self_id=self.node_id,
+                    self_cost=self.declared_cost,
+                    my_path=entry.path,
+                    my_cost=entry.cost,
+                    my_node_costs=entry.node_costs,
+                    neighbor=neighbor,
+                    advert=advert,
+                    literal_child_formula=self.literal_child_formula,
+                )
+                for k, value in candidates.items():
+                    if value < row.get(k, INF):
+                        row[k] = value
+            self.price_rows[destination] = row
+
+    # ------------------------------------------------------------------
+    # Advertisement contents
+    # ------------------------------------------------------------------
+    def _prices_for(self, destination: NodeId) -> Mapping[NodeId, Cost]:
+        return dict(self.price_rows.get(destination, {}))
+
+    # ------------------------------------------------------------------
+    # Introspection / dynamics
+    # ------------------------------------------------------------------
+    def price(self, k: NodeId, destination: NodeId) -> Cost:
+        """Current estimate of ``p^k_{self,destination}`` (0 when ``k``
+        is not transit on the selected path)."""
+        return self.price_rows.get(destination, {}).get(k, 0.0)
+
+    def prices_converged(self) -> bool:
+        """Whether every price entry is finite (necessary, not
+        sufficient, for convergence; the engine detects quiescence)."""
+        return all(
+            value != INF
+            for row in self.price_rows.values()
+            for value in row.values()
+        )
+
+    def reset_prices(self) -> None:
+        """Restart the price computation (the paper's response to a
+        route change anywhere in the network)."""
+        for destination, entry in self.routes.items():
+            self.price_rows[destination] = {k: INF for k in entry.transit}
+
+    def restart(self) -> None:
+        super().restart()
+        self.price_rows = {}

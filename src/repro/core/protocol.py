@@ -1,0 +1,195 @@
+"""One-call runners for the distributed mechanism.
+
+:func:`run_distributed_mechanism` wires price-computing nodes into the
+synchronous (or asynchronous) engine, runs to quiescence, and packages
+the network-wide result.  :func:`verify_against_centralized` compares
+every route and every price against the centralized Theorem 1 reference
+-- the end-to-end correctness statement of the reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
+from repro.bgp.metrics import ConvergenceReport
+from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
+from repro.core.price_node import PriceComputingNode, UpdateMode
+from repro.exceptions import MechanismError
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import PriceTable, compute_price_table
+from repro.types import Cost, NodeId, PathTuple
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between distributed and centralized results."""
+
+    kind: str  # "path" or "price"
+    source: NodeId
+    destination: NodeId
+    k: Optional[NodeId]
+    distributed: object
+    centralized: object
+
+    def __str__(self) -> str:
+        where = f"({self.source} -> {self.destination}"
+        if self.k is not None:
+            where += f", k={self.k}"
+        where += ")"
+        return (
+            f"{self.kind} mismatch {where}: distributed={self.distributed!r} "
+            f"centralized={self.centralized!r}"
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of the distributed-vs-centralized comparison."""
+
+    pairs_checked: int
+    prices_checked: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def raise_on_mismatch(self) -> None:
+        if self.mismatches:
+            preview = "; ".join(str(m) for m in self.mismatches[:5])
+            raise MechanismError(
+                f"{len(self.mismatches)} mismatches vs centralized reference: "
+                f"{preview}"
+            )
+
+
+@dataclass
+class DistributedPriceResult:
+    """Everything the distributed protocol computed."""
+
+    graph: ASGraph
+    engine: object
+    report: ConvergenceReport
+    mode: UpdateMode
+
+    def node(self, node_id: NodeId) -> PriceComputingNode:
+        return self.engine.nodes[node_id]
+
+    def path(self, source: NodeId, destination: NodeId) -> PathTuple:
+        entry = self.node(source).route(destination)
+        if entry is None:
+            raise MechanismError(
+                f"distributed protocol has no route {source} -> {destination}"
+            )
+        return entry.path
+
+    def cost(self, source: NodeId, destination: NodeId) -> Cost:
+        entry = self.node(source).route(destination)
+        if entry is None:
+            raise MechanismError(
+                f"distributed protocol has no route {source} -> {destination}"
+            )
+        return entry.cost
+
+    def price(self, k: NodeId, source: NodeId, destination: NodeId) -> Cost:
+        return self.node(source).price(k, destination)
+
+    def price_rows(self) -> Dict[PairKey, Dict[NodeId, Cost]]:
+        """All price rows, shaped like the centralized PriceTable rows."""
+        rows: Dict[PairKey, Dict[NodeId, Cost]] = {}
+        for node_id, node in self.engine.nodes.items():
+            for destination, row in node.price_rows.items():
+                rows[(node_id, destination)] = dict(row)
+        return rows
+
+    @property
+    def stages(self) -> int:
+        return self.report.stages
+
+
+def run_distributed_mechanism(
+    graph: ASGraph,
+    mode: UpdateMode = UpdateMode.MONOTONE,
+    policy: Optional[SelectionPolicy] = None,
+    asynchronous: bool = False,
+    seed: int = 0,
+    max_stages: Optional[int] = None,
+) -> DistributedPriceResult:
+    """Run the full FPSS protocol (routes + prices) to quiescence."""
+    policy = policy or LowestCostPolicy()
+
+    def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
+        return PriceComputingNode(node_id, cost, pol, mode=mode)
+
+    if asynchronous:
+        engine = AsynchronousEngine(
+            graph, policy=policy, node_factory=factory, seed=seed
+        )
+        engine.initialize()
+        report = engine.run()
+    else:
+        engine = SynchronousEngine(graph, policy=policy, node_factory=factory)
+        engine.initialize()
+        report = engine.run(max_stages=max_stages)
+    return DistributedPriceResult(graph=graph, engine=engine, report=report, mode=mode)
+
+
+def verify_against_centralized(
+    result: DistributedPriceResult,
+    table: Optional[PriceTable] = None,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-9,
+) -> VerificationReport:
+    """Compare all routes and prices with the centralized reference.
+
+    Routes must match *exactly* (identical tie-breaking by design);
+    prices are compared with floating-point tolerance because the
+    distributed arithmetic associates additions differently.
+    """
+    table = table or compute_price_table(result.graph)
+    routes = table.routes
+    report = VerificationReport(pairs_checked=0, prices_checked=0)
+    for destination in result.graph.nodes:
+        tree = routes.tree(destination)
+        for source in result.graph.nodes:
+            if source == destination:
+                continue
+            report.pairs_checked += 1
+            expected_path = tree.path(source)
+            actual_path = result.path(source, destination)
+            if actual_path != expected_path:
+                report.mismatches.append(
+                    Mismatch(
+                        kind="path",
+                        source=source,
+                        destination=destination,
+                        k=None,
+                        distributed=actual_path,
+                        centralized=expected_path,
+                    )
+                )
+                continue
+            expected_row = table.row(source, destination)
+            actual_row = result.node(source).price_rows.get(destination, {})
+            keys = set(expected_row) | set(actual_row)
+            for k in sorted(keys):
+                report.prices_checked += 1
+                expected = expected_row.get(k)
+                actual = actual_row.get(k)
+                if expected is None or actual is None:
+                    report.mismatches.append(
+                        Mismatch("price", source, destination, k, actual, expected)
+                    )
+                    continue
+                if math.isinf(actual) or not math.isclose(
+                    actual, expected, rel_tol=rel_tol, abs_tol=abs_tol
+                ):
+                    report.mismatches.append(
+                        Mismatch("price", source, destination, k, actual, expected)
+                    )
+    return report

@@ -1,0 +1,26 @@
+"""The experiment harness: one module per reproduced figure/table/claim.
+
+Every experiment implements ``run(scale, seed) -> ExperimentResult`` and
+is registered in :mod:`repro.experiments.registry` under its DESIGN.md
+id (E1..E12).  The benchmarks in ``benchmarks/`` and the CLI both drive
+these entry points, so the artifact printed by
+``repro-experiments all`` is the reproduction.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.runner import run_all, run_experiment, write_experiments_md
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+    "write_experiments_md",
+]

@@ -1,0 +1,224 @@
+"""E15: ablations of the design choices DESIGN.md calls out.
+
+Each ablation disables one load-bearing decision and demonstrates the
+resulting failure (or, for the mode comparison, quantifies the trade):
+
+* **A1 -- update mode.**  Monotone (paper-faithful) vs recompute
+  (stateless fixpoint): identical results, comparable stages; the
+  table reports stages and messages for both.
+* **A2 -- restart on change.**  With the Sect. 6 restart disabled, a
+  cost increase leaves stale pre-event candidates in the monotone
+  minimum and the converged prices are *wrong*; with the restart they
+  are exact.
+* **A3 -- advert-consistent child formula.**  Evaluating Eq. 3
+  literally is correct on synchronized static runs but produces wrong
+  prices under asynchrony (a stale child advertisement undercuts the
+  true price); the advert-consistent rewriting stays exact.
+* **A4 -- FIFO links.**  Without per-link FIFO delivery (which TCP
+  provides to real BGP), a newer table can be overwritten by an older
+  one in flight and even the *routes* converge wrong.
+
+The experiment PASSES when every disabled configuration exhibits its
+failure on at least one seed and every enabled configuration is exact
+on all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.analysis.report import Table
+from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
+from repro.bgp.events import CostChange
+from repro.bgp.policy import LowestCostPolicy
+from repro.core.price_node import PriceComputingNode, UpdateMode
+from repro.core.protocol import (
+    DistributedPriceResult,
+    run_distributed_mechanism,
+    verify_against_centralized,
+)
+from repro.experiments.registry import ExperimentResult
+from repro.graphs.generators import (
+    integer_costs,
+    isp_like_graph,
+    random_biconnected_graph,
+    ring_graph,
+    waxman_graph,
+)
+
+
+def _mode_comparison(seed: int) -> Tuple[Table, bool]:
+    table = Table(
+        title="A1: monotone vs recompute update mode",
+        headers=["family", "mode", "stages", "messages", "entries sent", "exact"],
+    )
+    ok = True
+    for family, graph in (
+        ("ring", ring_graph(10, seed=seed, cost_sampler=integer_costs(1, 5))),
+        ("isp-like", isp_like_graph(16, seed=seed, cost_sampler=integer_costs(1, 6))),
+    ):
+        for mode in UpdateMode:
+            result = run_distributed_mechanism(graph, mode=mode)
+            exact = verify_against_centralized(result).ok
+            ok = ok and exact
+            table.add_row(
+                family,
+                mode.value,
+                result.stages,
+                result.report.total_messages,
+                result.report.total_entries_sent,
+                exact,
+            )
+    table.add_note("both modes must be exact; the trade is purely operational")
+    return table, ok
+
+
+def _restart_ablation(seed: int) -> Tuple[Table, bool]:
+    table = Table(
+        title="A2: Sect. 6 restart on network change",
+        headers=["restart", "event", "mismatches after reconvergence"],
+    )
+
+    def run_once(restart: bool) -> int:
+        graph = ring_graph(8, seed=seed, cost_sampler=integer_costs(1, 5))
+
+        def factory(node_id, cost, policy):
+            return PriceComputingNode(node_id, cost, policy, mode=UpdateMode.MONOTONE)
+
+        engine = SynchronousEngine(
+            graph, node_factory=factory, restart_on_events=restart
+        )
+        engine.initialize()
+        engine.run()
+        victim = graph.nodes[0]
+        event = CostChange(victim, graph.cost(victim) * 3.0 + 1.0)
+        event.apply(engine)
+        report = engine.run()
+        mutated = graph.with_cost(victim, graph.cost(victim) * 3.0 + 1.0)
+        result = DistributedPriceResult(
+            graph=mutated, engine=engine, report=report, mode=UpdateMode.MONOTONE
+        )
+        return len(verify_against_centralized(result).mismatches)
+
+    with_restart = run_once(True)
+    without_restart = run_once(False)
+    table.add_row("on (paper)", "cost increase on a ring", with_restart)
+    table.add_row("off (ablated)", "cost increase on a ring", without_restart)
+    table.add_note(
+        "without the restart, pre-event price candidates undercut the new "
+        "true prices and the monotone minimum never recovers"
+    )
+    return table, with_restart == 0 and without_restart > 0
+
+
+def _child_formula_ablation(seed: int, seeds_to_try: int) -> Tuple[Table, bool]:
+    table = Table(
+        title="A3: literal Eq. 3 vs advert-consistent child formula (async)",
+        headers=["formula", "seeds", "seeds with wrong prices", "total mismatches"],
+    )
+
+    def scan(literal: bool) -> Tuple[int, int]:
+        bad_seeds = 0
+        mismatches = 0
+        for s in range(seeds_to_try):
+            graph = waxman_graph(12, seed=s)
+
+            def factory(node_id, cost, policy):
+                return PriceComputingNode(
+                    node_id,
+                    cost,
+                    policy,
+                    mode=UpdateMode.MONOTONE,
+                    literal_child_formula=literal,
+                )
+
+            engine = AsynchronousEngine(
+                graph, policy=LowestCostPolicy(), node_factory=factory, seed=s
+            )
+            engine.initialize()
+            report = engine.run()
+            result = DistributedPriceResult(
+                graph=graph, engine=engine, report=report, mode=UpdateMode.MONOTONE
+            )
+            found = len(verify_against_centralized(result).mismatches)
+            if found:
+                bad_seeds += 1
+                mismatches += found
+        return bad_seeds, mismatches
+
+    literal_bad, literal_mismatches = scan(True)
+    fixed_bad, fixed_mismatches = scan(False)
+    table.add_row("literal Eq. 3 (ablated)", seeds_to_try, literal_bad, literal_mismatches)
+    table.add_row("advert-consistent (ours)", seeds_to_try, fixed_bad, fixed_mismatches)
+    table.add_note(
+        "the literal form assumes the child's advertised cost reflects the "
+        "receiver's current cost; stale child adverts break that under asynchrony"
+    )
+    return table, fixed_bad == 0 and literal_bad > 0
+
+
+def _fifo_ablation(seed: int, seeds_to_try: int) -> Tuple[Table, bool]:
+    table = Table(
+        title="A4: per-link FIFO delivery (async engine)",
+        headers=["links", "seeds", "seeds with wrong state"],
+    )
+
+    def scan(fifo: bool) -> int:
+        bad = 0
+        for s in range(seeds_to_try):
+            graph = random_biconnected_graph(
+                9, 0.25, seed=s, cost_sampler=integer_costs(0, 5)
+            )
+
+            def factory(node_id, cost, policy):
+                return PriceComputingNode(node_id, cost, policy)
+
+            engine = AsynchronousEngine(
+                graph,
+                policy=LowestCostPolicy(),
+                node_factory=factory,
+                seed=s,
+                fifo_links=fifo,
+            )
+            engine.initialize()
+            report = engine.run()
+            result = DistributedPriceResult(
+                graph=graph, engine=engine, report=report, mode=UpdateMode.MONOTONE
+            )
+            if verify_against_centralized(result).mismatches:
+                bad += 1
+        return bad
+
+    without = scan(False)
+    with_fifo = scan(True)
+    table.add_row("reordered (ablated)", seeds_to_try, without)
+    table.add_row("FIFO (ours / TCP)", seeds_to_try, with_fifo)
+    table.add_note(
+        "without FIFO a newer routing table can be overtaken and overwritten "
+        "by an older one; BGP gets FIFO for free from TCP"
+    )
+    return table, with_fifo == 0 and without > 0
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    seeds_to_try = 8 if scale == "small" else 16
+    tables: List[Table] = []
+    passed = True
+    for builder in (
+        lambda: _mode_comparison(seed),
+        lambda: _restart_ablation(seed),
+        lambda: _child_formula_ablation(seed, seeds_to_try),
+        lambda: _fifo_ablation(seed, seeds_to_try),
+    ):
+        table, ok = builder()
+        tables.append(table)
+        passed = passed and ok
+    return ExperimentResult(
+        experiment_id="E15",
+        title="Design-choice ablations",
+        paper_artifact="(engineering companion; validates the DESIGN.md choices)",
+        expectation="every disabled safeguard exhibits its failure; every "
+        "enabled configuration is exact",
+        tables=tables,
+        passed=passed,
+    )

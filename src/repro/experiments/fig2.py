@@ -1,0 +1,56 @@
+"""E2: the route tree T(Z) of Figure 2.
+
+Figure 2 draws the tree of selected lowest-cost paths toward
+destination Z for the Figure 1 graph: A and D are children of Z, B and
+Y are children of D, and X is a child of B ("D is the parent of B in
+T(Z)").  The experiment rebuilds the tree from the routing substrate
+and from the running BGP engine and compares the parent relation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.bgp.engine import SynchronousEngine
+from repro.experiments.registry import ExperimentResult
+from repro.graphs.generators import FIG1_LABELS, fig1_graph
+from repro.routing.dijkstra import route_tree
+
+#: Parent relation of Figure 2, by label.
+FIG2_PARENTS = {"A": "Z", "D": "Z", "B": "D", "Y": "D", "X": "B"}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    graph = fig1_graph()
+    label = FIG1_LABELS
+    names = {value: key for key, value in label.items()}
+    Z = label["Z"]
+
+    tree = route_tree(graph, Z)
+
+    engine = SynchronousEngine(graph)
+    engine.initialize()
+    engine.run()
+
+    out = Table(
+        title="Route tree T(Z) (paper Fig. 2)",
+        headers=["node", "paper parent", "centralized parent", "BGP parent", "match"],
+    )
+    passed = True
+    for name, expected_parent in sorted(FIG2_PARENTS.items()):
+        node = label[name]
+        central = names[tree.parent(node)]
+        entry = engine.node(node).route(Z)
+        bgp = names[entry.next_hop] if entry is not None else "-"
+        match = central == expected_parent == bgp
+        passed = passed and match
+        out.add_row(name, expected_parent, central, bgp, match)
+    out.add_note("the selected LCPs toward Z form a loop-free tree, as Sect. 6 requires")
+
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Figure 2 route tree T(Z)",
+        paper_artifact="Figure 2",
+        expectation="selected routes toward Z form exactly the tree drawn in the paper",
+        tables=[out],
+        passed=passed,
+    )

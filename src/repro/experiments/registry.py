@@ -1,0 +1,86 @@
+"""Experiment registry and result type."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.report import Table
+from repro.exceptions import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """The rendered outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    expectation: str
+    tables: List[Table] = field(default_factory=list)
+    passed: bool = False
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        parts = [
+            f"[{self.experiment_id}] {self.title}  --  {status}",
+            f"paper artifact: {self.paper_artifact}",
+            f"expectation:    {self.expectation}",
+            "",
+        ]
+        parts.extend(table.render() + "\n" for table in self.tables)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        status = "**PASS**" if self.passed else "**FAIL**"
+        parts = [
+            f"## {self.experiment_id}: {self.title} — {status}",
+            "",
+            f"*Paper artifact*: {self.paper_artifact}",
+            "",
+            f"*Expectation*: {self.expectation}",
+            "",
+        ]
+        parts.extend(table.to_markdown() + "\n" for table in self.tables)
+        return "\n".join(parts)
+
+
+#: experiment id -> (module name, title)
+EXPERIMENTS: Dict[str, Tuple[str, str]] = {
+    "E1": ("repro.experiments.fig1", "Figure 1 worked example"),
+    "E2": ("repro.experiments.fig2", "Figure 2 route tree T(Z)"),
+    "E3": ("repro.experiments.price_agreement", "Distributed prices = centralized VCG"),
+    "E4": ("repro.experiments.strategyproofness", "Theorem 1 strategyproofness"),
+    "E5": ("repro.experiments.convergence_table", "Theorem 2 convergence bound"),
+    "E6": ("repro.experiments.state_table", "Theorem 2 state & communication"),
+    "E7": ("repro.experiments.overpayment_table", "Section 7 overcharging"),
+    "E8": ("repro.experiments.baseline_table", "Nisan-Ronen / Hershberger-Suri baselines"),
+    "E9": ("repro.experiments.bgp_table", "BGP substrate & hop-count baseline"),
+    "E10": ("repro.experiments.dynamics_table", "Reconvergence under dynamics"),
+    "E11": ("repro.experiments.scaling_table", "Engine scaling"),
+    "E12": ("repro.experiments.accounting_table", "Section 6.4 accounting"),
+    "E13": ("repro.experiments.edgecost_table", "Per-neighbor cost extension"),
+    "E14": ("repro.experiments.capacity_table", "Capacities and congestion (open problem probe)"),
+    "E15": ("repro.experiments.ablation_table", "Design-choice ablations"),
+    "E16": ("repro.experiments.policy_table", "Policy routing (valley-free) vs the paper's LCP model"),
+    "E17": ("repro.experiments.manipulation_table", "Protocol manipulation (Sect. 7 closing open problem)"),
+}
+
+
+def list_experiments() -> List[Tuple[str, str]]:
+    """``(id, title)`` pairs in definition order."""
+    return [(eid, title) for eid, (_module, title) in EXPERIMENTS.items()]
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable for an experiment id."""
+    try:
+        module_name, _title = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run

@@ -1,0 +1,63 @@
+"""E11: engine scaling (engineering, not a paper claim).
+
+Compares the pure-Python reference engine against the vectorized scipy
+engine on all-pairs LCP costs, and checks they agree.  This experiment
+exists so the repository's performance story is measured rather than
+asserted; it reproduces no specific paper artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.experiments.registry import ExperimentResult
+from repro.graphs.generators import integer_costs, isp_like_graph
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.scipy_engine import all_pairs_costs
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sizes = (10, 20, 30) if scale == "small" else (20, 40, 80, 120)
+    out = Table(
+        title="All-pairs LCP cost: pure Python vs scipy",
+        headers=["n", "m", "python s", "scipy s", "speedup", "max |diff|"],
+    )
+    passed = True
+    for n in sizes:
+        graph = isp_like_graph(n, seed=seed, cost_sampler=integer_costs(1, 9))
+
+        start = time.perf_counter()
+        routes = all_pairs_lcp(graph)
+        python_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        matrix, index = all_pairs_costs(graph)
+        scipy_s = time.perf_counter() - start
+
+        reference = np.zeros_like(matrix)
+        for (i, j), path in routes.paths.items():
+            reference[index[i], index[j]] = routes.cost(i, j)
+        max_diff = float(np.abs(matrix - reference).max())
+        agree = max_diff <= 1e-9
+        passed = passed and agree
+        out.add_row(
+            n,
+            graph.num_edges,
+            python_s,
+            scipy_s,
+            python_s / scipy_s if scipy_s > 0 else math.inf,
+            max_diff,
+        )
+    out.add_note("integer costs keep both engines bit-exact; diffs must be ~0")
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Engine scaling",
+        paper_artifact="(engineering companion; no paper table)",
+        expectation="engines agree; the vectorized engine wins at scale",
+        tables=[out],
+        passed=passed,
+    )

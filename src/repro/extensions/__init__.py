@@ -1,0 +1,37 @@
+"""Extensions beyond the paper's core model.
+
+The paper sketches, but does not develop, two generalizations; this
+package implements the first and probes the second:
+
+* :mod:`repro.extensions.edgecost` -- Section 3's remark: "we could
+  have a different cost depending on which neighbor k sends the packet
+  to, in which case we would have a cost associated with each edge, as
+  in the cost model of [12, 16].  (The strategic agents would still be
+  the nodes, and hence the VCG mechanism we describe here would remain
+  strategyproof.)"  Implemented end to end: model, routing, centralized
+  mechanism, and the BGP-based distributed computation.
+* :mod:`repro.extensions.capacity` -- Section 7's open problem:
+  "augment the network model with link or node capacities in order to
+  tackle the problem of routing in congested networks."  Implemented as
+  an analysis layer: capacity-annotated instances, utilization under
+  LCP routing, and a demonstration that the uncapacitated VCG prices
+  ignore congestion (the reason the paper calls it open).
+"""
+
+from repro.extensions.edgecost.model import EdgeCostGraph
+from repro.extensions.edgecost.mechanism import compute_edgecost_price_table
+from repro.extensions.edgecost.distributed import run_edgecost_mechanism
+from repro.extensions.capacity import (
+    CongestionReport,
+    congestion_report,
+    greedy_decongest,
+)
+
+__all__ = [
+    "EdgeCostGraph",
+    "compute_edgecost_price_table",
+    "run_edgecost_mechanism",
+    "CongestionReport",
+    "congestion_report",
+    "greedy_decongest",
+]

@@ -1,0 +1,199 @@
+"""Capacities and congestion: probing the Section 7 open problem.
+
+The paper closes by suggesting the model be augmented "with link or
+node capacities in order to tackle the problem of routing in congested
+networks... it seems plausible that transit traffic imposes costs only
+in the presence of congestion."  This module does not *solve* that open
+problem (nobody has, within the paper's framework); it builds the
+instrumentation needed to see why it is hard:
+
+* :func:`node_loads` / :func:`congestion_report` -- per-node transit
+  load when a traffic matrix rides the selected LCPs, and which nodes
+  exceed their declared capacity.
+* :func:`greedy_decongest` -- a simple off-mechanism repair that moves
+  whole flows from overloaded nodes onto their lowest-cost avoiding
+  paths, largest-flow-first, and reports the social-cost premium paid
+  for feasibility.
+* The demonstrable tension (asserted in tests and experiment E14): the
+  VCG prices of Theorem 1 are *independent of capacities and load*, so
+  a congested node is paid exactly as if it were idle, and decongested
+  routings are no longer lowest-cost -- the Green-Laffont argument that
+  pinned the mechanism no longer applies to the repaired routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp
+from repro.routing.avoiding import avoiding_tree
+from repro.types import Cost, NodeId, PathTuple
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+def node_loads(
+    routes_by_pair: Mapping[PairKey, PathTuple],
+    traffic: Mapping[PairKey, float],
+) -> Dict[NodeId, float]:
+    """Transit load per node: packets it forwards under these routes."""
+    loads: Dict[NodeId, float] = {}
+    for pair, intensity in traffic.items():
+        if not intensity:
+            continue
+        path = routes_by_pair.get(pair)
+        if path is None:
+            raise ExperimentError(f"no route for traffic pair {pair}")
+        for node in path[1:-1]:
+            loads[node] = loads.get(node, 0.0) + intensity
+    return loads
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Load vs capacity under one routing."""
+
+    loads: Dict[NodeId, float]
+    capacities: Dict[NodeId, float]
+    total_cost: Cost
+
+    @property
+    def overloaded(self) -> Tuple[NodeId, ...]:
+        return tuple(
+            sorted(
+                node
+                for node, load in self.loads.items()
+                if load > self.capacities.get(node, float("inf")) + 1e-9
+            )
+        )
+
+    @property
+    def feasible(self) -> bool:
+        return not self.overloaded
+
+    def utilization(self, node: NodeId) -> float:
+        capacity = self.capacities.get(node, float("inf"))
+        if capacity == float("inf"):
+            return 0.0
+        if capacity == 0:
+            return float("inf") if self.loads.get(node, 0.0) > 0 else 0.0
+        return self.loads.get(node, 0.0) / capacity
+
+    @property
+    def max_utilization(self) -> float:
+        return max(
+            (self.utilization(node) for node in self.capacities),
+            default=0.0,
+        )
+
+
+def congestion_report(
+    graph: ASGraph,
+    capacities: Mapping[NodeId, float],
+    traffic: Mapping[PairKey, float],
+    routes: Optional[AllPairsRoutes] = None,
+) -> CongestionReport:
+    """Load/capacity analysis of LCP routing for one instance."""
+    routes = routes or all_pairs_lcp(graph)
+    routes_by_pair = dict(routes.paths)
+    loads = node_loads(routes_by_pair, traffic)
+    total = sum(
+        intensity * graph.path_cost(routes_by_pair[pair])
+        if len(routes_by_pair[pair]) > 2
+        else 0.0
+        for pair, intensity in traffic.items()
+        if intensity
+    )
+    return CongestionReport(
+        loads=loads, capacities=dict(capacities), total_cost=total
+    )
+
+
+@dataclass
+class DecongestionResult:
+    """Outcome of the greedy feasibility repair."""
+
+    moved_pairs: List[PairKey] = field(default_factory=list)
+    before: Optional[CongestionReport] = None
+    after: Optional[CongestionReport] = None
+    routes_by_pair: Dict[PairKey, PathTuple] = field(default_factory=dict)
+
+    @property
+    def cost_premium(self) -> Cost:
+        """Extra social cost paid for feasibility."""
+        if self.before is None or self.after is None:
+            return 0.0
+        return self.after.total_cost - self.before.total_cost
+
+
+def greedy_decongest(
+    graph: ASGraph,
+    capacities: Mapping[NodeId, float],
+    traffic: Mapping[PairKey, float],
+    max_moves: Optional[int] = None,
+) -> DecongestionResult:
+    """Move flows off overloaded nodes onto avoiding paths, biggest first.
+
+    A deliberately simple repair: while some node is overloaded, take
+    the largest flow transiting it and reroute that whole flow along
+    its lowest-cost path avoiding the overloaded node (if any exists).
+    Terminates when feasible, out of moves, or stuck.  The result
+    quantifies the cost premium feasibility demands -- the quantity a
+    capacity-aware mechanism would have to price, which Theorem 1's
+    mechanism cannot.
+    """
+    routes = all_pairs_lcp(graph)
+    routes_by_pair: Dict[PairKey, PathTuple] = dict(routes.paths)
+    result = DecongestionResult()
+    result.before = congestion_report(graph, capacities, traffic, routes=routes)
+
+    budget = max_moves if max_moves is not None else 4 * len(traffic)
+    moves = 0
+    while moves < budget:
+        loads = node_loads(routes_by_pair, traffic)
+        overloaded = [
+            node
+            for node, load in loads.items()
+            if load > capacities.get(node, float("inf")) + 1e-9
+        ]
+        if not overloaded:
+            break
+        hot = max(overloaded, key=lambda node: loads[node])
+        # largest flow currently transiting the hot node
+        candidates = [
+            (intensity, pair)
+            for pair, intensity in traffic.items()
+            if intensity and hot in routes_by_pair[pair][1:-1]
+        ]
+        if not candidates:
+            break
+        moved = False
+        for intensity, pair in sorted(candidates, reverse=True):
+            source, destination = pair
+            detour = avoiding_tree(graph, destination, hot)
+            if not detour.has_route(source):
+                continue
+            routes_by_pair[pair] = detour.path(source)
+            result.moved_pairs.append(pair)
+            moved = True
+            break
+        if not moved:
+            break  # stuck: no flow on the hot node can avoid it
+        moves += 1
+
+    loads = node_loads(routes_by_pair, traffic)
+    total = sum(
+        intensity * graph.path_cost(routes_by_pair[pair])
+        if len(routes_by_pair[pair]) > 2
+        else 0.0
+        for pair, intensity in traffic.items()
+        if intensity
+    )
+    result.after = CongestionReport(
+        loads=loads, capacities=dict(capacities), total_cost=total
+    )
+    result.routes_by_pair = routes_by_pair
+    return result

@@ -1,0 +1,49 @@
+"""The per-neighbor (edge) cost generalization of Section 3.
+
+Each node ``k`` declares a cost ``c_k(v)`` for every neighbor ``v`` it
+can forward to; the transit cost of a path charges every intermediate
+node its cost toward its *next hop on that path*.  Nodes remain the
+strategic agents (a node's type is its whole cost vector), and the VCG
+payments keep the Theorem 1 shape with ``c_k`` read off the selected
+path:
+
+    ``p^k_ij = c_k(next_k) + S_{-k}(i, j) - S(i, j)``
+
+Routing works on the edge metric ``w(u -> v) = c_u(v)`` (per-neighbor
+costs break optimal substructure over nodes; see
+:mod:`repro.extensions.edgecost.routing`), and the distributed
+computation rides the same BGP exchange as the base protocol (see
+:mod:`repro.extensions.edgecost.distributed`).
+"""
+
+from repro.extensions.edgecost.model import EdgeCostGraph
+from repro.extensions.edgecost.routing import (
+    EdgeCostRoutes,
+    edgecost_avoiding_routes,
+    edgecost_routes,
+)
+from repro.extensions.edgecost.mechanism import (
+    EdgeCostPriceTable,
+    compute_edgecost_price_table,
+    edgecost_utility,
+)
+from repro.extensions.edgecost.distributed import (
+    EdgeCostPriceNode,
+    EdgeCostResult,
+    run_edgecost_mechanism,
+    verify_edgecost_result,
+)
+
+__all__ = [
+    "EdgeCostGraph",
+    "EdgeCostRoutes",
+    "edgecost_avoiding_routes",
+    "edgecost_routes",
+    "EdgeCostPriceTable",
+    "compute_edgecost_price_table",
+    "edgecost_utility",
+    "EdgeCostPriceNode",
+    "EdgeCostResult",
+    "run_edgecost_mechanism",
+    "verify_edgecost_result",
+]

@@ -1,0 +1,146 @@
+"""The VCG mechanism under per-neighbor costs.
+
+The Theorem 1 derivation only used (a) that routing minimizes the sum
+of the agents' incurred costs and (b) that a node priced out entirely
+carries nothing; both survive when a node's type is its *vector* of
+per-neighbor costs.  The payment keeps the marginal form, with ``c_k``
+evaluated toward ``k``'s next hop on the selected route:
+
+    ``p^k_ij = c_k(next_k) + S_{-k}(i, j) - S(i, j)``
+
+where ``S`` is the transit cost of the selected route and ``S_{-k}``
+the best k-avoiding transit cost (computed on ``G - k``).
+
+Strategyproofness (now against vector-valued lies) is exercised by
+:func:`edgecost_utility` plus the deviation sweeps in the test suite
+and experiment E13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import MechanismError, NotBiconnectedError
+from repro.extensions.edgecost.model import EdgeCostGraph
+from repro.extensions.edgecost.routing import (
+    EdgeCostRoutes,
+    edgecost_avoiding_routes,
+    edgecost_routes,
+)
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class EdgeCostPriceTable:
+    """All-pairs routes and prices for one per-neighbor-cost instance."""
+
+    graph: EdgeCostGraph
+    routes: Dict[NodeId, EdgeCostRoutes] = field(repr=False)
+    rows: Dict[PairKey, Dict[NodeId, Cost]] = field(repr=False)
+
+    def path(self, source: NodeId, destination: NodeId):
+        return self.routes[destination].path(source)
+
+    def cost(self, source: NodeId, destination: NodeId) -> Cost:
+        return self.routes[destination].cost(source)
+
+    def price(self, k: NodeId, source: NodeId, destination: NodeId) -> Cost:
+        return self.rows.get((source, destination), {}).get(k, 0.0)
+
+    def row(self, source: NodeId, destination: NodeId) -> Dict[NodeId, Cost]:
+        return dict(self.rows.get((source, destination), {}))
+
+
+def _avoiding_transit_cost(
+    detour: EdgeCostRoutes, source: NodeId
+) -> Optional[Cost]:
+    """``S_{-k}(source)`` from a ``G - k`` routing state (None if cut)."""
+    if not detour.has_route(source):
+        return None
+    return detour.cost(source)
+
+
+def compute_edgecost_price_table(graph: EdgeCostGraph) -> EdgeCostPriceTable:
+    """All-pairs routes and prices for a per-neighbor-cost instance."""
+    routes: Dict[NodeId, EdgeCostRoutes] = {}
+    rows: Dict[PairKey, Dict[NodeId, Cost]] = {}
+    for destination in graph.nodes:
+        state = edgecost_routes(graph, destination)
+        routes[destination] = state
+        transit_nodes = set()
+        for source in graph.nodes:
+            if source != destination and state.has_route(source):
+                transit_nodes.update(state.path(source)[1:-1])
+        detours = {
+            k: edgecost_avoiding_routes(graph, destination, k)
+            for k in transit_nodes
+        }
+        for source in graph.nodes:
+            if source == destination:
+                continue
+            path = state.path(source)
+            if len(path) == 2:
+                rows[(source, destination)] = {}
+                continue
+            transit_cost = state.cost(source)
+            row: Dict[NodeId, Cost] = {}
+            for index in range(1, len(path) - 1):
+                k = path[index]
+                next_hop = path[index + 1]
+                detour_cost = _avoiding_transit_cost(detours[k], source)
+                if detour_cost is None:
+                    raise NotBiconnectedError(
+                        message=(
+                            f"no {k}-avoiding path from {source} to "
+                            f"{destination}; mechanism undefined"
+                        )
+                    )
+                price = (
+                    graph.forwarding_cost(k, next_hop)
+                    + detour_cost
+                    - transit_cost
+                )
+                if price < -1e-9:
+                    raise MechanismError(
+                        f"negative price {price} for k={k} on "
+                        f"({source}, {destination})"
+                    )
+                row[k] = price
+            rows[(source, destination)] = row
+    return EdgeCostPriceTable(graph=graph, routes=routes, rows=rows)
+
+
+def edgecost_utility(
+    graph: EdgeCostGraph,
+    k: NodeId,
+    declared: Optional[Mapping[NodeId, Cost]],
+    traffic: Mapping[PairKey, float],
+    true_costs: Optional[Mapping[NodeId, Cost]] = None,
+) -> Cost:
+    """Agent ``k``'s utility when it declares the vector *declared*
+    (``None`` = truthful) while its true vector is *true_costs*
+    (defaulting to the instance's).
+
+    Routing and prices respond to the declaration; incurred cost uses
+    the truth, charged per forwarded packet toward the actual next hop.
+    """
+    truth = dict(true_costs) if true_costs is not None else graph.forwarding_costs(k)
+    declared_graph = (
+        graph if declared is None else graph.with_forwarding_costs(k, declared)
+    )
+    table = compute_edgecost_price_table(declared_graph)
+    utility = 0.0
+    for (source, destination), intensity in traffic.items():
+        if not intensity:
+            continue
+        path = table.path(source, destination)
+        if k not in path[1:-1]:
+            continue
+        next_hop = path[path.index(k) + 1]
+        paid = table.price(k, source, destination)
+        incurred = truth[next_hop]
+        utility += intensity * (paid - incurred)
+    return utility

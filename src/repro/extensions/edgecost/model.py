@@ -1,0 +1,145 @@
+"""The per-neighbor cost model.
+
+An :class:`EdgeCostGraph` is an AS graph whose node ``k`` declares a
+separate per-packet cost ``c_k(v)`` for each neighbor ``v`` it may
+forward to.  The base model is the special case where all of a node's
+per-neighbor costs coincide; :meth:`EdgeCostGraph.from_uniform` builds
+that embedding, which the tests use to check the extension degenerates
+to the Theorem 1 mechanism exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.asgraph import ASGraph
+from repro.types import Cost, NodeId, validate_cost
+
+
+class EdgeCostGraph:
+    """An AS graph with per-neighbor forwarding costs.
+
+    Parameters
+    ----------
+    edges:
+        Undirected links.
+    forwarding_costs:
+        ``node -> {neighbor -> cost}``.  Every node must price every
+        one of its neighbors (it could be asked to forward to any).
+    """
+
+    __slots__ = ("_topology", "_costs")
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[NodeId, NodeId]],
+        forwarding_costs: Mapping[NodeId, Mapping[NodeId, Cost]],
+    ) -> None:
+        node_ids = sorted(forwarding_costs)
+        self._topology = ASGraph(
+            nodes=[(node, 0.0) for node in node_ids], edges=list(edges)
+        )
+        self._costs: Dict[NodeId, Dict[NodeId, Cost]] = {}
+        for node in node_ids:
+            declared = dict(forwarding_costs[node])
+            neighbors = set(self._topology.neighbors(node))
+            if set(declared) != neighbors:
+                raise GraphError(
+                    f"node {node} must price exactly its neighbors "
+                    f"{sorted(neighbors)}, got {sorted(declared)}"
+                )
+            self._costs[node] = {
+                neighbor: validate_cost(
+                    cost, what=f"cost of node {node} toward {neighbor}"
+                )
+                for neighbor, cost in declared.items()
+            }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uniform(cls, graph: ASGraph) -> "EdgeCostGraph":
+        """Embed a base (uniform-cost) instance: ``c_k(v) = c_k``."""
+        forwarding = {
+            node: {neighbor: graph.cost(node) for neighbor in graph.neighbors(node)}
+            for node in graph.nodes
+        }
+        return cls(edges=graph.edges, forwarding_costs=forwarding)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        return self._topology.nodes
+
+    @property
+    def edges(self):
+        return self._topology.edges
+
+    @property
+    def num_nodes(self) -> int:
+        return self._topology.num_nodes
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return self._topology.neighbors(node)
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return self._topology.has_edge(u, v)
+
+    @property
+    def topology(self) -> ASGraph:
+        """The underlying cost-free topology (for biconnectivity etc.)."""
+        return self._topology
+
+    def forwarding_cost(self, node: NodeId, toward: NodeId) -> Cost:
+        """``c_node(toward)``: the declared cost of *node* forwarding a
+        packet to its neighbor *toward*."""
+        try:
+            return self._costs[node][toward]
+        except KeyError:
+            raise GraphError(
+                f"node {node} has no forwarding cost toward {toward}"
+            ) from None
+
+    def forwarding_costs(self, node: NodeId) -> Dict[NodeId, Cost]:
+        return dict(self._costs[node])
+
+    def path_cost(self, path: Sequence[NodeId]) -> Cost:
+        """Transit cost of *path*: each intermediate node pays its cost
+        toward the next node on the path (destination-first
+        accumulation, like the base model)."""
+        if len(path) < 2:
+            raise GraphError(f"path must have at least two nodes, got {list(path)}")
+        for u, v in zip(path, path[1:]):
+            if not self.has_edge(u, v):
+                raise GraphError(f"path uses missing link ({u}, {v})")
+        total = 0.0
+        for index in range(len(path) - 2, 0, -1):
+            total += self.forwarding_cost(path[index], path[index + 1])
+        return total
+
+    # ------------------------------------------------------------------
+    def with_forwarding_costs(
+        self, node: NodeId, costs: Mapping[NodeId, Cost]
+    ) -> "EdgeCostGraph":
+        """A copy with *node* re-declaring its whole cost vector (the
+        unilateral-deviation construction; a node's type is the vector)."""
+        if node not in self._costs:
+            raise GraphError(f"unknown node {node}")
+        forwarding = {n: dict(c) for n, c in self._costs.items()}
+        forwarding[node] = dict(costs)
+        return EdgeCostGraph(edges=self.edges, forwarding_costs=forwarding)
+
+    def without_node(self, node: NodeId) -> "EdgeCostGraph":
+        """A copy with *node* removed (k-avoiding computations)."""
+        if node not in self._costs:
+            raise GraphError(f"unknown node {node}")
+        edges = [(u, v) for u, v in self.edges if node not in (u, v)]
+        forwarding = {
+            n: {v: c for v, c in costs.items() if v != node}
+            for n, costs in self._costs.items()
+            if n != node
+        }
+        return EdgeCostGraph(edges=edges, forwarding_costs=forwarding)
+
+    def __repr__(self) -> str:
+        return f"EdgeCostGraph(n={self.num_nodes}, m={len(self.edges)})"

@@ -1,0 +1,61 @@
+"""AS-graph substrate: the network model of Section 3 of the paper.
+
+The central class is :class:`~repro.graphs.asgraph.ASGraph`, an undirected
+graph whose nodes are Autonomous Systems carrying per-packet transit costs.
+Companion modules provide biconnectivity analysis (the precondition of
+Theorem 1), topology generators for the experiment harness, serialization,
+and topology metrics (the ``d`` and ``d'`` quantities of Theorem 2).
+"""
+
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.biconnectivity import (
+    articulation_points,
+    biconnected_components,
+    ensure_biconnected,
+    is_biconnected,
+    make_biconnected,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    clique_graph,
+    fig1_graph,
+    grid_graph,
+    isp_like_graph,
+    random_biconnected_graph,
+    ring_graph,
+    waxman_graph,
+    wheel_graph,
+)
+from repro.graphs.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+from repro.graphs.metrics import (
+    avoiding_hop_diameter,
+    hop_diameter,
+    lcp_hop_diameter,
+    topology_summary,
+)
+
+__all__ = [
+    "ASGraph",
+    "articulation_points",
+    "biconnected_components",
+    "ensure_biconnected",
+    "is_biconnected",
+    "make_biconnected",
+    "barabasi_albert_graph",
+    "clique_graph",
+    "fig1_graph",
+    "grid_graph",
+    "isp_like_graph",
+    "random_biconnected_graph",
+    "ring_graph",
+    "waxman_graph",
+    "wheel_graph",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "avoiding_hop_diameter",
+    "hop_diameter",
+    "lcp_hop_diameter",
+    "topology_summary",
+]

@@ -1,0 +1,222 @@
+"""Biconnectivity analysis and augmentation.
+
+Theorem 1 requires the AS graph to be biconnected: if removing a node
+disconnects some source from some destination, the k-avoiding path used in
+the VCG payment is undefined and the cut node could charge a monopoly
+price.  This module provides
+
+* :func:`articulation_points` -- Tarjan's linear-time cut-vertex search,
+* :func:`is_biconnected` / :func:`ensure_biconnected` -- predicates used as
+  preconditions by the mechanism code, and
+* :func:`make_biconnected` -- a greedy augmentation used by the topology
+  generators to repair randomly drawn graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError, NotBiconnectedError
+from repro.graphs.asgraph import ASGraph
+from repro.types import Edge, NodeId
+
+
+def articulation_points(graph: ASGraph) -> Set[NodeId]:
+    """Return the set of articulation points (cut vertices) of *graph*.
+
+    Implemented with Tarjan's low-link algorithm, iteratively to avoid
+    recursion limits on long path-like graphs.
+    """
+    nodes = graph.nodes
+    discovery: Dict[NodeId, int] = {}
+    low: Dict[NodeId, int] = {}
+    parent: Dict[NodeId, Optional[NodeId]] = {}
+    points: Set[NodeId] = set()
+    counter = 0
+
+    for root in nodes:
+        if root in discovery:
+            continue
+        parent[root] = None
+        root_children = 0
+        # Each stack frame is (node, iterator over remaining neighbors).
+        stack: List[Tuple[NodeId, List[NodeId]]] = [(root, list(graph.neighbors(root)))]
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, neighbors = stack[-1]
+            if neighbors:
+                neighbor = neighbors.pop()
+                if neighbor not in discovery:
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, list(graph.neighbors(neighbor))))
+                elif neighbor != parent[node]:
+                    low[node] = min(low[node], discovery[neighbor])
+            else:
+                stack.pop()
+                if stack:
+                    above = stack[-1][0]
+                    low[above] = min(low[above], low[node])
+                    if above != root and low[node] >= discovery[above]:
+                        points.add(above)
+        if root_children > 1:
+            points.add(root)
+    return points
+
+
+def biconnected_components(graph: ASGraph) -> List[FrozenSet[Edge]]:
+    """Return the biconnected components of *graph* as edge sets.
+
+    A bridge forms its own single-edge component.  Uses the classic
+    edge-stack variant of Tarjan's algorithm, iteratively.
+    """
+    discovery: Dict[NodeId, int] = {}
+    low: Dict[NodeId, int] = {}
+    parent: Dict[NodeId, Optional[NodeId]] = {}
+    components: List[FrozenSet[Edge]] = []
+    edge_stack: List[Edge] = []
+    counter = 0
+
+    def normalize(u: NodeId, v: NodeId) -> Edge:
+        return (min(u, v), max(u, v))
+
+    for root in graph.nodes:
+        if root in discovery:
+            continue
+        parent[root] = None
+        stack: List[Tuple[NodeId, List[NodeId]]] = [(root, list(graph.neighbors(root)))]
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, neighbors = stack[-1]
+            if neighbors:
+                neighbor = neighbors.pop()
+                if neighbor not in discovery:
+                    parent[neighbor] = node
+                    edge_stack.append(normalize(node, neighbor))
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, list(graph.neighbors(neighbor))))
+                elif neighbor != parent[node] and discovery[neighbor] < discovery[node]:
+                    edge_stack.append(normalize(node, neighbor))
+                    low[node] = min(low[node], discovery[neighbor])
+            else:
+                stack.pop()
+                if stack:
+                    above = stack[-1][0]
+                    low[above] = min(low[above], low[node])
+                    if low[node] >= discovery[above]:
+                        # 'above' separates; pop the component rooted here.
+                        component: Set[Edge] = set()
+                        marker = normalize(above, node)
+                        while edge_stack:
+                            edge = edge_stack.pop()
+                            component.add(edge)
+                            if edge == marker:
+                                break
+                        if component:
+                            components.append(frozenset(component))
+        if edge_stack:  # pragma: no cover - defensive; loop drains the stack
+            components.append(frozenset(edge_stack))
+            edge_stack.clear()
+    return components
+
+
+def is_biconnected(graph: ASGraph) -> bool:
+    """Whether *graph* is biconnected (connected, >= 3 nodes, no cut vertex).
+
+    A single edge (two nodes) is *not* biconnected for our purposes:
+    neither endpoint has an alternative route, so every transit payment on
+    it would be a monopoly price.
+    """
+    if graph.num_nodes < 3:
+        return False
+    if not graph.is_connected():
+        return False
+    return not articulation_points(graph)
+
+
+def ensure_biconnected(graph: ASGraph) -> None:
+    """Raise :class:`NotBiconnectedError` unless *graph* is biconnected."""
+    if graph.num_nodes < 3:
+        raise NotBiconnectedError(message="graph has fewer than 3 nodes")
+    if not graph.is_connected():
+        raise NotBiconnectedError(message="graph is disconnected")
+    points = articulation_points(graph)
+    if points:
+        raise NotBiconnectedError(articulation_points=points)
+
+
+def make_biconnected(graph: ASGraph, rng: Optional[random.Random] = None) -> ASGraph:
+    """Return a biconnected supergraph of *graph* obtained by adding links.
+
+    The augmentation is greedy: while the graph has articulation points
+    (or is disconnected), add a link between two non-adjacent nodes drawn
+    from different leaf blocks of the block-cut tree.  This is not a
+    minimum augmentation -- minimality is irrelevant for generating test
+    topologies -- but it terminates quickly and perturbs the original
+    topology as little as a random repair can.
+    """
+    if graph.num_nodes < 3:
+        raise GraphError("cannot biconnect a graph with fewer than 3 nodes")
+    rng = rng or random.Random(0)
+    current = graph
+
+    # First make it connected by linking components together.
+    while not current.is_connected():
+        components = _connected_components(current)
+        first, second = components[0], components[1]
+        u = rng.choice(sorted(first))
+        v = rng.choice(sorted(second))
+        current = current.with_edge(u, v)
+
+    guard = 0
+    while True:
+        points = articulation_points(current)
+        if not points:
+            return current
+        guard += 1
+        if guard > current.num_nodes * current.num_nodes:  # pragma: no cover
+            raise GraphError("biconnectivity augmentation failed to terminate")
+        cut = sorted(points)[0]
+        # Link two neighbors of the cut vertex that live in different
+        # components of (graph - cut); this removes it as a cut vertex.
+        sides = _connected_components(current.without_node(cut))
+        candidates_a = sorted(sides[0])
+        candidates_b = sorted(sides[1])
+        added = False
+        for u in rng.sample(candidates_a, len(candidates_a)):
+            for v in rng.sample(candidates_b, len(candidates_b)):
+                if not current.has_edge(u, v):
+                    current = current.with_edge(u, v)
+                    added = True
+                    break
+            if added:
+                break
+        if not added:  # pragma: no cover - only on pathological density
+            raise GraphError("no augmenting link available")
+
+
+def _connected_components(graph: ASGraph) -> List[Set[NodeId]]:
+    """Connected components as node sets, largest-first ordering not
+    guaranteed; deterministic given the node ordering."""
+    remaining = set(graph.nodes)
+    components: List[Set[NodeId]] = []
+    while remaining:
+        root = min(remaining)
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(seen)
+        remaining -= seen
+    return components

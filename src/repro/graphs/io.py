@@ -1,0 +1,58 @@
+"""Serialization of AS graphs to and from JSON-compatible dicts.
+
+The format is deliberately plain so that experiment outputs can be
+archived and topologies shared::
+
+    {
+      "nodes": [{"id": 0, "cost": 2.0}, ...],
+      "edges": [[0, 1], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.exceptions import GraphError
+from repro.graphs.asgraph import ASGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ASGraph) -> Dict[str, Any]:
+    """Serialize *graph* to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": [{"id": node, "cost": graph.cost(node)} for node in graph.nodes],
+        "edges": [[u, v] for u, v in sorted(graph.edges)],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> ASGraph:
+    """Deserialize a graph from the dict format of :func:`graph_to_dict`."""
+    try:
+        version = payload.get("version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise GraphError(f"unsupported graph format version {version!r}")
+        nodes = [(entry["id"], entry["cost"]) for entry in payload["nodes"]]
+        edges = [(u, v) for u, v in payload["edges"]]
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph payload: {exc!r}") from exc
+    return ASGraph(nodes=nodes, edges=edges)
+
+
+def graph_to_json(graph: ASGraph, *, indent: int = 2) -> str:
+    """Serialize *graph* to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> ASGraph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise GraphError("graph JSON must be an object")
+    return graph_from_dict(payload)

@@ -1,0 +1,48 @@
+"""The VCG pricing mechanism of Section 4 (centralized reference).
+
+* :mod:`repro.mechanism.vcg` -- Theorem 1 prices and the all-pairs
+  :class:`~repro.mechanism.vcg.PriceTable`.
+* :mod:`repro.mechanism.welfare` -- the objective ``V(c)``, per-node
+  incurred costs ``u_k`` and utilities ``tau_k``.
+* :mod:`repro.mechanism.strategyproof` -- the deviation-testing harness
+  behind the strategyproofness experiments (E4).
+* :mod:`repro.mechanism.uniqueness` -- empirical probes of the
+  Green-Laffont pinning argument (payments must be ``V(c^{-k inf})``
+  -offset VCG).
+* :mod:`repro.mechanism.overpayment` -- the Section 7 overcharging
+  metrics.
+"""
+
+from repro.mechanism.vcg import PriceTable, compute_price_table, vcg_price
+from repro.mechanism.welfare import (
+    node_incurred_cost,
+    node_utility,
+    total_cost,
+    total_payment,
+)
+from repro.mechanism.strategyproof import (
+    DeviationOutcome,
+    deviation_outcome,
+    utility_under_declaration,
+)
+from repro.mechanism.overpayment import (
+    OverpaymentStats,
+    overpayment_ratio,
+    overpayment_stats,
+)
+
+__all__ = [
+    "PriceTable",
+    "compute_price_table",
+    "vcg_price",
+    "node_incurred_cost",
+    "node_utility",
+    "total_cost",
+    "total_payment",
+    "DeviationOutcome",
+    "deviation_outcome",
+    "utility_under_declaration",
+    "OverpaymentStats",
+    "overpayment_ratio",
+    "overpayment_stats",
+]

@@ -1,0 +1,124 @@
+"""Section 7 overcharging metrics.
+
+The VCG payments exceed the true cost of the chosen path; the paper's
+Y -> Z example pays node D nine units per packet although D's cost is
+one.  This module quantifies the effect:
+
+* per-pair overpayment ratio: ``sum_k p^k_ij / Cost(P(c; i, j))``;
+* per-node markup: ``p^k_ij / c_k``;
+* aggregate, traffic-weighted totals.
+
+The follow-on literature calls this the *frugality* question; experiment
+E7 tabulates the distributions per topology family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.mechanism.vcg import PriceTable
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class OverpaymentStats:
+    """Distribution summary of per-pair overpayment ratios."""
+
+    pairs: int
+    mean_ratio: float
+    median_ratio: float
+    max_ratio: float
+    max_pair: Optional[PairKey]
+    total_payment: float
+    total_cost: float
+
+    @property
+    def aggregate_ratio(self) -> float:
+        """Traffic-weighted overall payment / cost ratio."""
+        if self.total_cost == 0:
+            return math.inf if self.total_payment > 0 else 1.0
+        return self.total_payment / self.total_cost
+
+
+def overpayment_ratio(table: PriceTable, source: NodeId, destination: NodeId) -> float:
+    """Payment/cost ratio for one pair.
+
+    Pairs whose LCP has no transit nodes (direct links) have both sides
+    zero and report ratio ``1.0``; pairs with zero-cost transit but
+    positive payment report ``inf``.
+    """
+    payment = table.total_price(source, destination)
+    cost = table.routes.cost(source, destination)
+    if cost == 0:
+        return 1.0 if payment == 0 else math.inf
+    return payment / cost
+
+
+def node_markups(table: PriceTable, source: NodeId, destination: NodeId) -> Dict[NodeId, float]:
+    """Per-transit-node markup ``p^k_ij / c_k`` for one pair (``inf`` for
+    zero-cost nodes that are nevertheless paid)."""
+    markups: Dict[NodeId, float] = {}
+    for k, price in table.row(source, destination).items():
+        cost = table.routes.graph.cost(k)
+        if cost == 0:
+            markups[k] = math.inf if price > 0 else 1.0
+        else:
+            markups[k] = price / cost
+    return markups
+
+
+def overpayment_stats(
+    table: PriceTable,
+    traffic: Optional[Mapping[PairKey, float]] = None,
+) -> OverpaymentStats:
+    """Distribution of overpayment ratios across all pairs.
+
+    With *traffic* given, total payment and total cost are traffic
+    weighted; otherwise every pair counts once.  Pairs with infinite
+    ratios (zero-cost LCP, positive payment) are excluded from mean and
+    median but still counted in the totals.
+    """
+    ratios: List[float] = []
+    max_ratio = 0.0
+    max_pair: Optional[PairKey] = None
+    total_payment = 0.0
+    total_cost = 0.0
+    routes = table.routes
+    pairs = sorted(routes.paths)
+    for pair in pairs:
+        source, destination = pair
+        weight = 1.0 if traffic is None else float(traffic.get(pair, 0.0))
+        if traffic is not None and weight == 0.0:
+            continue
+        payment = table.total_price(source, destination)
+        cost = routes.cost(source, destination)
+        total_payment += weight * payment
+        total_cost += weight * cost
+        ratio = overpayment_ratio(table, source, destination)
+        if math.isinf(ratio):
+            continue
+        ratios.append(ratio)
+        if ratio > max_ratio:
+            max_ratio = ratio
+            max_pair = pair
+    ratios.sort()
+    count = len(ratios)
+    mean = sum(ratios) / count if count else 0.0
+    if count:
+        middle = count // 2
+        median = ratios[middle] if count % 2 else 0.5 * (ratios[middle - 1] + ratios[middle])
+    else:
+        median = 0.0
+    return OverpaymentStats(
+        pairs=count,
+        mean_ratio=mean,
+        median_ratio=median,
+        max_ratio=max_ratio,
+        max_pair=max_pair,
+        total_payment=total_payment,
+        total_cost=total_cost,
+    )

@@ -1,0 +1,138 @@
+"""Deviation testing: the empirical half of Theorem 1.
+
+A mechanism is strategyproof when no agent can raise its utility by
+misdeclaring its type, whatever the others declare:
+
+    ``tau_k(c) >= tau_k(c^{-k} x)``  for all lies ``x``.
+
+:func:`deviation_outcome` evaluates both sides of that inequality for a
+concrete lie: it recomputes routes and prices under the lie (the
+mechanism only sees declarations) and evaluates the agent's utility with
+its *true* cost.  The experiment harness sweeps lies over a grid and
+random draws; any positive gain would falsify the implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import PriceTable, compute_price_table
+from repro.mechanism.welfare import node_utility
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class DeviationOutcome:
+    """The result of one unilateral deviation experiment."""
+
+    node: NodeId
+    true_cost: Cost
+    declared_cost: Cost
+    truthful_utility: Cost
+    deviant_utility: Cost
+
+    @property
+    def gain(self) -> Cost:
+        """Utility gained by lying; strategyproofness demands <= 0
+        (up to floating-point noise)."""
+        return self.deviant_utility - self.truthful_utility
+
+    @property
+    def profitable(self) -> bool:
+        return self.gain > 1e-9
+
+
+def utility_under_declaration(
+    graph: ASGraph,
+    k: NodeId,
+    declared_cost: Cost,
+    traffic: Mapping[PairKey, float],
+    true_cost: Optional[Cost] = None,
+) -> Cost:
+    """``tau_k`` when *k* declares *declared_cost* while its true cost is
+    *true_cost* (defaulting to the cost in *graph*).
+
+    The whole pipeline -- routing, k-avoiding paths, prices -- is re-run
+    on the declared instance, exactly as the real mechanism would.
+    """
+    true = graph.cost(k) if true_cost is None else float(true_cost)
+    declared_graph = graph.with_cost(k, declared_cost)
+    table = compute_price_table(declared_graph)
+    return node_utility(table, traffic, k, true_cost=true)
+
+
+def deviation_outcome(
+    graph: ASGraph,
+    k: NodeId,
+    declared_cost: Cost,
+    traffic: Mapping[PairKey, float],
+    truthful_table: Optional[PriceTable] = None,
+) -> DeviationOutcome:
+    """Evaluate one lie.  *truthful_table* may be precomputed and shared
+    across many lies for the same instance."""
+    true_cost = graph.cost(k)
+    if truthful_table is None:
+        truthful_table = compute_price_table(graph)
+    truthful_utility = node_utility(truthful_table, traffic, k, true_cost=true_cost)
+    deviant_utility = utility_under_declaration(
+        graph, k, declared_cost, traffic, true_cost=true_cost
+    )
+    return DeviationOutcome(
+        node=k,
+        true_cost=true_cost,
+        declared_cost=float(declared_cost),
+        truthful_utility=truthful_utility,
+        deviant_utility=deviant_utility,
+    )
+
+
+def lie_grid(true_cost: Cost, *, factors: Iterable[float] = (0.0, 0.25, 0.5, 0.9, 1.1, 1.5, 2.0, 4.0), offsets: Iterable[float] = (0.5, 1.0, 5.0)) -> List[Cost]:
+    """A deterministic grid of lies around *true_cost*: multiplicative
+    over- and under-declarations plus additive offsets (so a zero true
+    cost still gets meaningful lies)."""
+    lies = {round(true_cost * factor, 12) for factor in factors}
+    lies.update(round(true_cost + offset, 12) for offset in offsets)
+    lies.discard(round(true_cost, 12))
+    return sorted(lie for lie in lies if lie >= 0.0)
+
+
+def sweep_deviations(
+    graph: ASGraph,
+    traffic: Mapping[PairKey, float],
+    nodes: Optional[Iterable[NodeId]] = None,
+    extra_random_lies: int = 0,
+    seed: int = 0,
+) -> List[DeviationOutcome]:
+    """Run the full deviation sweep used by experiment E4.
+
+    For every node (or the given subset), tries the deterministic lie
+    grid plus *extra_random_lies* uniform draws in ``[0, 3 * true + 5]``.
+    Returns every outcome; callers assert ``not outcome.profitable``.
+    """
+    rng = random.Random(seed)
+    truthful_table = compute_price_table(graph)
+    outcomes: List[DeviationOutcome] = []
+    for k in nodes if nodes is not None else graph.nodes:
+        true_cost = graph.cost(k)
+        lies = lie_grid(true_cost)
+        for _ in range(extra_random_lies):
+            lies.append(rng.uniform(0.0, 3.0 * true_cost + 5.0))
+        for lie in lies:
+            outcomes.append(
+                deviation_outcome(graph, k, lie, traffic, truthful_table=truthful_table)
+            )
+    return outcomes
+
+
+def most_profitable(outcomes: Iterable[DeviationOutcome]) -> Optional[DeviationOutcome]:
+    """The outcome with the largest gain (None when *outcomes* empty)."""
+    best: Optional[DeviationOutcome] = None
+    for outcome in outcomes:
+        if best is None or outcome.gain > best.gain:
+            best = outcome
+    return best

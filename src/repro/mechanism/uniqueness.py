@@ -1,0 +1,156 @@
+"""Empirical probes of the uniqueness argument behind Theorem 1.
+
+The proof pins the mechanism in two steps (via Green & Laffont):
+
+1. Any strategyproof mechanism minimizing ``V(c) = sum_k u_k(c)`` is a
+   Groves mechanism: ``p_k = u_k(c) - V(c) + h_k(c^{-k})``.
+2. Requiring zero payment for nodes carrying no transit traffic forces
+   ``h_k(c^{-k}) = V(c^{-k})`` (the total cost when ``k``'s transit is
+   priced out, i.e. ``c_k = infinity``).
+
+Code cannot prove a theorem, but it can check the identities the proof
+asserts and exhibit counterexamples for mechanisms outside the pinned
+family.  :func:`groves_identity_gap` checks step 2's identity for our
+implementation; :func:`perturbed_mechanism_witness` shows that adding an
+own-cost-dependent term to ``h_k`` (the only freedom left) creates a
+profitable lie, so no other choice survives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Tuple
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import PriceTable, compute_price_table, payments
+from repro.mechanism.welfare import node_incurred_cost, total_cost
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.avoiding import avoiding_tree
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+def removed_total_cost(
+    graph: ASGraph,
+    k: NodeId,
+    traffic: Mapping[PairKey, float],
+) -> Cost:
+    """``V(c^{-k})``: total routing cost when ``c_k = infinity``.
+
+    With ``k`` priced out, pairs not involving ``k`` route along their
+    lowest-cost k-avoiding paths; pairs with ``k`` as an endpoint are
+    unaffected (endpoints never pay their own cost).  Biconnectivity
+    guarantees all terms are finite.
+    """
+    routes = all_pairs_lcp(graph)
+    detour_cache = {}
+    total = 0.0
+    for (source, destination), intensity in traffic.items():
+        if not intensity:
+            continue
+        if k in (source, destination):
+            total += intensity * routes.cost(source, destination)
+            continue
+        if destination not in detour_cache:
+            detour_cache[destination] = avoiding_tree(graph, destination, k)
+        total += intensity * detour_cache[destination].cost(source)
+    return total
+
+
+def groves_identity_gap(
+    graph: ASGraph,
+    k: NodeId,
+    traffic: Mapping[PairKey, float],
+    table: Optional[PriceTable] = None,
+) -> Cost:
+    """The residual of ``p_k = V(c^{-k}) + u_k(c) - V(c)`` for node *k*.
+
+    Zero (up to floating point) for a correct Theorem 1 implementation;
+    the tests assert this on many random instances.
+    """
+    table = table or compute_price_table(graph)
+    paid = payments(table, traffic)[k]
+    groves = (
+        removed_total_cost(graph, k, traffic)
+        + node_incurred_cost(table.routes, traffic, k)
+        - total_cost(table.routes, traffic)
+    )
+    return paid - groves
+
+
+@dataclass(frozen=True)
+class PerturbationWitness:
+    """A concrete violation produced by a non-VCG ``h_k`` choice."""
+
+    node: NodeId
+    true_cost: Cost
+    declared_cost: Cost
+    truthful_utility: Cost
+    deviant_utility: Cost
+    violates_zero_payment: bool
+
+    @property
+    def violates_strategyproofness(self) -> bool:
+        return self.deviant_utility > self.truthful_utility + 1e-9
+
+    @property
+    def violated(self) -> bool:
+        return self.violates_strategyproofness or self.violates_zero_payment
+
+
+def perturbed_mechanism_witness(
+    graph: ASGraph,
+    k: NodeId,
+    traffic: Mapping[PairKey, float],
+    perturbation: Callable[[Cost], Cost],
+    lies: Tuple[Cost, ...] = (),
+    seed: int = 0,
+) -> PerturbationWitness:
+    """Probe the mechanism ``p'_k = p_k + perturbation(c_k_declared)``.
+
+    Any perturbation that actually depends on ``k``'s own declaration
+    breaks strategyproofness (the Groves characterization), and any
+    constant non-zero perturbation breaks the zero-payment condition.
+    Returns the most incriminating lie found.
+    """
+    rng = random.Random(seed)
+    true_cost = graph.cost(k)
+    if not lies:
+        lies = tuple(
+            sorted(
+                {0.0, true_cost * 0.5, true_cost * 2.0 + 1.0}
+                | {rng.uniform(0.0, 2.0 * true_cost + 5.0) for _ in range(4)}
+            )
+        )
+
+    def perturbed_utility(declared: Cost) -> Cost:
+        declared_graph = graph.with_cost(k, declared)
+        table = compute_price_table(declared_graph)
+        base = payments(table, traffic)[k] + perturbation(declared)
+        incurred = node_incurred_cost(table.routes, traffic, k, true_cost=true_cost)
+        return base - incurred
+
+    truthful = perturbed_utility(true_cost)
+    best_lie = true_cost
+    best_utility = truthful
+    for lie in lies:
+        utility = perturbed_utility(lie)
+        if utility > best_utility:
+            best_utility = utility
+            best_lie = lie
+
+    # Zero-payment check: a node carrying no transit traffic must be
+    # paid exactly zero; with the perturbation it is paid
+    # `perturbation(declared)` instead.
+    violates_zero = abs(perturbation(true_cost)) > 1e-12
+
+    return PerturbationWitness(
+        node=k,
+        true_cost=true_cost,
+        declared_cost=best_lie,
+        truthful_utility=truthful,
+        deviant_utility=best_utility,
+        violates_zero_payment=violates_zero,
+    )

@@ -1,0 +1,103 @@
+"""Welfare accounting: the objective ``V(c)``, costs ``u_k``, utilities.
+
+Section 3 of the paper defines, for routes chosen by the indicator
+functions ``I_k(c; i, j)`` and a traffic matrix ``T``:
+
+* ``u_k(c) = c_k * sum_ij T_ij I_k(c; i, j)`` -- cost incurred by ``k``,
+* ``V(c) = sum_k u_k(c)``               -- total cost to society,
+* ``tau_k = p_k - u_k``                 -- utility of agent ``k``.
+
+These functions evaluate those quantities for *any* combination of
+declared routing (which fixes the indicators) and true costs (which fix
+the incurred cost), which is exactly the decoupling needed to test
+strategyproofness: routes and payments respond to declarations, utility
+responds to the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import PriceTable, payments
+from repro.routing.allpairs import AllPairsRoutes
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+def node_incurred_cost(
+    routes: AllPairsRoutes,
+    traffic: Mapping[PairKey, float],
+    k: NodeId,
+    true_cost: Optional[Cost] = None,
+) -> Cost:
+    """``u_k``: the transit cost *k* truly incurs under these routes.
+
+    *true_cost* defaults to the cost declared in the routing instance;
+    pass the true value explicitly when evaluating a lie.
+    """
+    cost_k = routes.graph.cost(k) if true_cost is None else float(true_cost)
+    carried = 0.0
+    for (source, destination), intensity in traffic.items():
+        if intensity and routes.indicator(k, source, destination):
+            carried += intensity
+    return cost_k * carried
+
+
+def total_cost(
+    routes: AllPairsRoutes,
+    traffic: Mapping[PairKey, float],
+    true_costs: Optional[Mapping[NodeId, Cost]] = None,
+) -> Cost:
+    """``V(c)``: total cost to society of routing all packets.
+
+    With *true_costs* given, the routes (indicators) come from the
+    declared instance while the per-packet costs come from the truth --
+    the quantity the mechanism is trying to minimize but can only
+    observe through declarations.
+    """
+    total = 0.0
+    for k in routes.graph.nodes:
+        true = None if true_costs is None else true_costs.get(k)
+        total += node_incurred_cost(routes, traffic, k, true_cost=true)
+    return total
+
+
+def node_utility(
+    table: PriceTable,
+    traffic: Mapping[PairKey, float],
+    k: NodeId,
+    true_cost: Optional[Cost] = None,
+) -> Cost:
+    """``tau_k = p_k - u_k`` for node *k*.
+
+    Payments follow the declared instance embedded in *table*; the
+    incurred cost uses *true_cost* when supplied (deviation analysis).
+    """
+    paid = payments(table, traffic)[k]
+    incurred = node_incurred_cost(table.routes, traffic, k, true_cost=true_cost)
+    return paid - incurred
+
+
+def total_payment(
+    table: PriceTable,
+    traffic: Mapping[PairKey, float],
+) -> Cost:
+    """Total money injected by the mechanism: ``sum_k p_k``."""
+    return float(sum(payments(table, traffic).values()))
+
+
+def welfare_summary(
+    table: PriceTable,
+    traffic: Mapping[PairKey, float],
+) -> Dict[str, Cost]:
+    """A bundle of the headline welfare quantities for reports."""
+    cost = total_cost(table.routes, traffic)
+    paid = total_payment(table, traffic)
+    return {
+        "total_cost": cost,
+        "total_payment": paid,
+        "overpayment": paid - cost,
+        "overpayment_ratio": (paid / cost) if cost > 0 else float("inf"),
+    }

@@ -1,0 +1,35 @@
+"""Policy routing: the realism the paper explicitly sets aside.
+
+Section 1/2 of the paper acknowledges two simplifications: "BGP allows
+an AS to choose routes according to any one of a wide variety of local
+policies; LCP routing is just one example", and (footnote 2) "Most ASs
+do not accept transit traffic from peers, only from customers."
+Extending the mechanism to policy routing is the Section 7 future-work
+direction (picked up by Feigenbaum, Sami, and Shenker [7]).
+
+This package implements the standard model of those policies --
+Gao-Rexford customer/peer/provider relationships with valley-free
+export -- on top of the same path-vector machinery, so the gap the
+paper leaves can be *measured* (experiment E16): how much reachability
+and cost efficiency valley-free routing gives up relative to the
+paper's unrestricted LCPs, and that the Gao-Rexford preference rules
+still converge.
+"""
+
+from repro.policy.relationships import (
+    Relationship,
+    RelationshipMap,
+    annotate_isp_hierarchy,
+)
+from repro.policy.valley_free import is_valley_free
+from repro.policy.engine import PolicyEngine, PolicyNode, run_policy_routing
+
+__all__ = [
+    "Relationship",
+    "RelationshipMap",
+    "annotate_isp_hierarchy",
+    "is_valley_free",
+    "PolicyEngine",
+    "PolicyNode",
+    "run_policy_routing",
+]

@@ -1,0 +1,152 @@
+"""AS business relationships: customer, peer, provider.
+
+A :class:`RelationshipMap` labels every link of an AS graph from each
+endpoint's perspective; the labels are kept consistent (my customer
+sees me as its provider; peering is symmetric).  The
+:func:`annotate_isp_hierarchy` generator derives a plausible labeling
+for the two-tier ISP-like topologies: links inside the core are peer
+links, links from core (or earlier-created stubs) to later stubs make
+the earlier node the provider.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.asgraph import ASGraph
+from repro.types import NodeId
+
+Edge = Tuple[NodeId, NodeId]
+
+
+class Relationship(enum.Enum):
+    """How a neighbor relates to *me* commercially."""
+
+    CUSTOMER = "customer"   # they pay me; I carry their transit
+    PEER = "peer"           # settlement-free; we exchange customer routes
+    PROVIDER = "provider"   # I pay them; they carry my transit
+
+    @property
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+#: Gao-Rexford route preference: customer routes beat peer routes beat
+#: provider routes (revenue beats free beats paid).
+PREFERENCE_RANK: Dict[Relationship, int] = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+class RelationshipMap:
+    """Consistent per-link relationship labels for an AS graph."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        labels: Mapping[Edge, Relationship],
+    ) -> None:
+        """*labels* maps directed pairs ``(u, v)`` to how ``v`` relates
+        to ``u``; each undirected link needs exactly one direction
+        labeled (the other is inferred by inversion)."""
+        self.graph = graph
+        self._labels: Dict[Edge, Relationship] = {}
+        for (u, v), relationship in labels.items():
+            if not graph.has_edge(u, v):
+                raise GraphError(f"no link between {u} and {v}")
+            self._labels[(u, v)] = relationship
+            inverse = relationship.inverse
+            existing = self._labels.get((v, u))
+            if existing is not None and existing is not inverse:
+                raise GraphError(
+                    f"inconsistent labels on link ({u}, {v}): "
+                    f"{relationship.value} vs {existing.value}"
+                )
+            self._labels[(v, u)] = inverse
+        for u, v in graph.edges:
+            if (u, v) not in self._labels:
+                raise GraphError(f"link ({u}, {v}) is unlabeled")
+
+    def relationship(self, me: NodeId, neighbor: NodeId) -> Relationship:
+        """How *neighbor* relates to *me*."""
+        try:
+            return self._labels[(me, neighbor)]
+        except KeyError:
+            raise GraphError(f"no relationship between {me} and {neighbor}") from None
+
+    def customers(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(
+            sorted(
+                neighbor
+                for neighbor in self.graph.neighbors(node)
+                if self.relationship(node, neighbor) is Relationship.CUSTOMER
+            )
+        )
+
+    def providers(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(
+            sorted(
+                neighbor
+                for neighbor in self.graph.neighbors(node)
+                if self.relationship(node, neighbor) is Relationship.PROVIDER
+            )
+        )
+
+    def peers(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return tuple(
+            sorted(
+                neighbor
+                for neighbor in self.graph.neighbors(node)
+                if self.relationship(node, neighbor) is Relationship.PEER
+            )
+        )
+
+    def is_provider_customer_acyclic(self) -> bool:
+        """Whether the provider->customer digraph is acyclic (the
+        Gao-Rexford hierarchy condition guaranteeing convergence)."""
+        # Kahn's algorithm over provider -> customer edges.
+        indegree: Dict[NodeId, int] = {node: 0 for node in self.graph.nodes}
+        for node in self.graph.nodes:
+            for customer in self.customers(node):
+                indegree[customer] += 1
+        queue = [node for node, degree in indegree.items() if degree == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for customer in self.customers(node):
+                indegree[customer] -= 1
+                if indegree[customer] == 0:
+                    queue.append(customer)
+        return seen == len(indegree)
+
+
+def annotate_isp_hierarchy(
+    graph: ASGraph,
+    core_size: int,
+) -> RelationshipMap:
+    """Label an ISP-like topology: the first *core_size* node ids form a
+    full peer mesh among themselves; on every other link, the
+    lower-numbered endpoint (created earlier, higher in the hierarchy)
+    is the provider of the higher-numbered one.
+
+    The resulting provider graph is acyclic by construction, satisfying
+    the Gao-Rexford convergence condition.
+    """
+    if not 0 < core_size <= graph.num_nodes:
+        raise GraphError(f"core size {core_size} out of range")
+    labels: Dict[Edge, Relationship] = {}
+    for u, v in graph.edges:  # u < v by normalization
+        if u < core_size and v < core_size:
+            labels[(u, v)] = Relationship.PEER
+        else:
+            labels[(u, v)] = Relationship.CUSTOMER  # v is u's customer
+    return RelationshipMap(graph, labels)

@@ -1,0 +1,62 @@
+"""Valley-free path validation.
+
+A path is *valley-free* when it climbs zero or more customer-to-provider
+links, optionally crosses one peer link at the top, then descends zero
+or more provider-to-customer links.  Equivalently: nobody provides free
+transit -- an AS forwards between two neighbors only if at least one of
+them is its customer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policy.relationships import Relationship, RelationshipMap
+from repro.types import NodeId
+
+# Phases of a valley-free walk.
+_CLIMBING = 0
+_PEAKED = 1     # crossed the single allowed peer link
+_DESCENDING = 2
+
+
+def is_valley_free(path: Sequence[NodeId], relationships: RelationshipMap) -> bool:
+    """Whether *path* respects the valley-free export discipline."""
+    if len(path) < 2:
+        return True
+    phase = _CLIMBING
+    for u, v in zip(path, path[1:]):
+        rel = relationships.relationship(u, v)  # how v relates to u
+        if rel is Relationship.PROVIDER:
+            step = "up"
+        elif rel is Relationship.PEER:
+            step = "peer"
+        else:
+            step = "down"
+        if phase == _CLIMBING:
+            if step == "up":
+                continue
+            phase = _PEAKED if step == "peer" else _DESCENDING
+        elif phase == _PEAKED:
+            if step == "down":
+                phase = _DESCENDING
+            else:
+                return False
+        else:  # descending
+            if step != "down":
+                return False
+    return True
+
+
+def transit_allowed(
+    node: NodeId,
+    from_neighbor: NodeId,
+    to_neighbor: NodeId,
+    relationships: RelationshipMap,
+) -> bool:
+    """Footnote 2 of the paper, as a predicate: an AS carries traffic
+    between two neighbors only if at least one of them is its customer."""
+    return (
+        relationships.relationship(node, from_neighbor) is Relationship.CUSTOMER
+        or relationships.relationship(node, to_neighbor) is Relationship.CUSTOMER
+    )

@@ -1,0 +1,86 @@
+"""All-pairs lowest-cost routes: one route tree per destination.
+
+This realizes the paper's "n^2 LCP instances" view (Sect. 1) as ``n``
+destination trees, which is also exactly the state BGP distributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.exceptions import DisconnectedGraphError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.dijkstra import RouteTree, route_tree
+from repro.types import Cost, NodeId, PathTuple
+
+
+@dataclass(frozen=True)
+class AllPairsRoutes:
+    """Selected LCPs for every ordered source-destination pair."""
+
+    graph: ASGraph
+    trees: Dict[NodeId, RouteTree]
+
+    @property
+    def paths(self) -> Dict[Tuple[NodeId, NodeId], PathTuple]:
+        """``(source, destination) -> selected path`` for all pairs."""
+        result: Dict[Tuple[NodeId, NodeId], PathTuple] = {}
+        for destination, tree in self.trees.items():
+            for source in tree.sources():
+                result[(source, destination)] = tree.path(source)
+        return result
+
+    def tree(self, destination: NodeId) -> RouteTree:
+        return self.trees[destination]
+
+    def path(self, source: NodeId, destination: NodeId) -> PathTuple:
+        return self.trees[destination].path(source)
+
+    def cost(self, source: NodeId, destination: NodeId) -> Cost:
+        return self.trees[destination].cost(source)
+
+    def hops(self, source: NodeId, destination: NodeId) -> int:
+        return self.trees[destination].hops(source)
+
+    def indicator(self, k: NodeId, source: NodeId, destination: NodeId) -> bool:
+        """``I_k(c; source, destination)`` from Section 3."""
+        return self.trees[destination].on_path(k, source)
+
+    def transit_nodes(self, destination: NodeId) -> Tuple[NodeId, ...]:
+        """All nodes appearing as transit on some selected path toward
+        *destination* -- the ``k`` values whose prices matter there."""
+        tree = self.trees[destination]
+        transit = set()
+        for source in tree.sources():
+            transit.update(tree.path(source)[1:-1])
+        return tuple(sorted(transit))
+
+    def max_hops(self) -> int:
+        """The quantity ``d`` of Theorem 2 for this instance."""
+        return max(
+            (tree.hops(source) for tree in self.trees.values() for source in tree.sources()),
+            default=0,
+        )
+
+    def __iter__(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        return iter(sorted(self.paths))
+
+
+def all_pairs_lcp(graph: ASGraph) -> AllPairsRoutes:
+    """Compute selected LCPs for all ordered pairs.
+
+    Raises :class:`DisconnectedGraphError` if any pair is unreachable;
+    the paper's model assumes (at least) connectivity.
+    """
+    trees: Dict[NodeId, RouteTree] = {}
+    expected = graph.num_nodes - 1
+    for destination in graph.nodes:
+        tree = route_tree(graph, destination)
+        if len(tree.sources()) != expected:
+            missing = set(graph.nodes) - set(tree.sources()) - {destination}
+            raise DisconnectedGraphError(
+                f"nodes {sorted(missing)} cannot reach {destination}"
+            )
+        trees[destination] = tree
+    return AllPairsRoutes(graph=graph, trees=trees)

@@ -1,0 +1,102 @@
+"""Lowest-cost k-avoiding paths ``P_{-k}(c; i, j)``.
+
+The VCG price paid to a transit node ``k`` on the LCP from ``i`` to ``j``
+is ``c_k + Cost(P_{-k}(c; i, j)) - Cost(P(c; i, j))`` (Eq. 1 of the
+paper), so computing prices reduces to computing lowest-cost paths in
+``G - k``.  The batched form -- one destination-rooted Dijkstra in
+``G - k`` serves *all* sources at once -- is what makes the centralized
+all-pairs price table tractable (O(n) Dijkstras per destination instead
+of O(n^2)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import NotBiconnectedError, UnreachableError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.dijkstra import RouteTree, route_tree
+from repro.types import Cost, NodeId, PathTuple
+
+
+def avoiding_tree(graph: ASGraph, destination: NodeId, k: NodeId) -> RouteTree:
+    """The selected lowest-cost paths toward *destination* in ``G - k``.
+
+    Sources disconnected by the removal simply have no entry; queries on
+    them raise :class:`UnreachableError` (on a biconnected graph this
+    never happens).
+    """
+    if k == destination:
+        raise UnreachableError(destination, destination, avoiding=k)
+    return route_tree(graph.without_node(k), destination)
+
+
+def avoiding_cost(graph: ASGraph, source: NodeId, destination: NodeId, k: NodeId) -> Cost:
+    """``Cost(P_{-k}(c; source, destination))``."""
+    if k in (source, destination):
+        raise UnreachableError(source, destination, avoiding=k)
+    tree = avoiding_tree(graph, destination, k)
+    try:
+        return tree.cost(source)
+    except UnreachableError:
+        raise UnreachableError(source, destination, avoiding=k) from None
+
+
+def avoiding_path(graph: ASGraph, source: NodeId, destination: NodeId, k: NodeId) -> PathTuple:
+    """The selected lowest-cost k-avoiding path itself."""
+    if k in (source, destination):
+        raise UnreachableError(source, destination, avoiding=k)
+    tree = avoiding_tree(graph, destination, k)
+    try:
+        return tree.path(source)
+    except UnreachableError:
+        raise UnreachableError(source, destination, avoiding=k) from None
+
+
+def avoiding_costs_for_destination(
+    graph: ASGraph,
+    destination: NodeId,
+    transit_nodes: Tuple[NodeId, ...],
+) -> Dict[NodeId, RouteTree]:
+    """Batched k-avoiding trees for one destination.
+
+    Returns ``k -> RouteTree`` of ``G - k`` rooted at *destination* for
+    each ``k`` in *transit_nodes*.  This is the workhorse of the
+    centralized price table.
+    """
+    trees: Dict[NodeId, RouteTree] = {}
+    for k in transit_nodes:
+        if k == destination:
+            continue
+        trees[k] = avoiding_tree(graph, destination, k)
+    return trees
+
+
+def max_avoiding_hops(graph: ASGraph) -> int:
+    """The quantity ``d'`` of Theorem 2: the maximum hop count over the
+    lowest-cost k-avoiding paths for every pair and every transit node
+    ``k`` on the pair's selected LCP.
+
+    Raises :class:`NotBiconnectedError` if some avoiding path does not
+    exist, since then the mechanism itself is undefined.
+    """
+    from repro.routing.allpairs import all_pairs_lcp
+
+    routes = all_pairs_lcp(graph)
+    best = 0
+    for destination in graph.nodes:
+        tree = routes.tree(destination)
+        transit = routes.transit_nodes(destination)
+        detours = avoiding_costs_for_destination(graph, destination, transit)
+        for source in tree.sources():
+            for k in tree.path(source)[1:-1]:
+                detour_tree = detours[k]
+                if not detour_tree.has_route(source):
+                    raise NotBiconnectedError(
+                        message=(
+                            f"no {k}-avoiding path from {source} to "
+                            f"{destination}; graph is not biconnected"
+                        )
+                    )
+                best = max(best, detour_tree.hops(source))
+    return best

@@ -1,0 +1,151 @@
+"""Destination-rooted generalized Dijkstra over canonical route keys.
+
+For a destination ``j``, :func:`route_tree` computes, for every other
+node ``i``, the minimum-key path from ``i`` to ``j`` (key = canonical
+``(cost, hops, path)`` order).  Because the key order is suffix
+consistent, the selected paths form the loop-free tree ``T(j)`` the
+paper's Section 6 relies on; the tree is returned explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import UnreachableError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.tiebreak import RouteKey, route_key
+from repro.types import Cost, NodeId, PathTuple
+
+
+@dataclass(frozen=True)
+class RouteTree:
+    """The selected lowest-cost paths toward one destination.
+
+    Attributes
+    ----------
+    destination:
+        The root ``j`` of the tree.
+    parents:
+        ``i -> next hop of i toward j`` for every reachable ``i != j``.
+        (In the paper's tree vocabulary the next hop is ``i``'s *parent*
+        in ``T(j)``.)
+    _paths / _costs:
+        Full selected path and transit cost per source.
+    """
+
+    destination: NodeId
+    parents: Dict[NodeId, NodeId]
+    _paths: Dict[NodeId, PathTuple] = field(repr=False)
+    _costs: Dict[NodeId, Cost] = field(repr=False)
+
+    def sources(self) -> Tuple[NodeId, ...]:
+        """Nodes with a selected route to the destination (excl. root)."""
+        return tuple(sorted(self._paths))
+
+    def has_route(self, source: NodeId) -> bool:
+        return source in self._paths or source == self.destination
+
+    def path(self, source: NodeId) -> PathTuple:
+        """Selected path from *source* to the destination (inclusive)."""
+        if source == self.destination:
+            return (source,)
+        try:
+            return self._paths[source]
+        except KeyError:
+            raise UnreachableError(source, self.destination) from None
+
+    def cost(self, source: NodeId) -> Cost:
+        """Transit cost of the selected path from *source*."""
+        if source == self.destination:
+            return 0.0
+        try:
+            return self._costs[source]
+        except KeyError:
+            raise UnreachableError(source, self.destination) from None
+
+    def hops(self, source: NodeId) -> int:
+        """Number of AS hops (edges) on the selected path."""
+        return len(self.path(source)) - 1
+
+    def parent(self, source: NodeId) -> NodeId:
+        """``source``'s parent (next hop) in ``T(j)``."""
+        if source == self.destination:
+            raise UnreachableError(source, self.destination)
+        try:
+            return self.parents[source]
+        except KeyError:
+            raise UnreachableError(source, self.destination) from None
+
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Nodes whose selected next hop is *node*."""
+        return tuple(sorted(i for i, p in self.parents.items() if p == node))
+
+    def on_path(self, k: NodeId, source: NodeId) -> bool:
+        """The indicator ``I_k(c; source, destination)``: whether ``k``
+        is a *transit* node on the selected path from *source*."""
+        if not self.has_route(source) or source == self.destination:
+            return False
+        path = self.path(source)
+        return k in path[1:-1]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.sources())
+
+
+def route_tree(graph: ASGraph, destination: NodeId) -> RouteTree:
+    """Compute the selected-LCP tree ``T(destination)``.
+
+    Runs generalized Dijkstra rooted at the destination; relaxation
+    accumulates cost destination-first (``dist(v) = dist(u) + c_u`` for
+    the hop ``v -> u`` with ``u`` nearer the root), which keeps costs
+    bit-identical to BGP's hop-by-hop accumulation.  Unreachable nodes
+    simply have no entry (queries raise :class:`UnreachableError`).
+    """
+    if destination not in graph:
+        raise UnreachableError(destination, destination)
+    best: Dict[NodeId, RouteKey] = {destination: route_key(0.0, (destination,))}
+    finalized: Dict[NodeId, RouteKey] = {}
+    heap = [(best[destination], destination)]
+    while heap:
+        key, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        if key != best.get(node):
+            continue  # stale heap entry
+        finalized[node] = key
+        cost, _hops, path = key
+        hop_cost = 0.0 if node == destination else graph.cost(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor in finalized:
+                continue
+            if neighbor in path:
+                continue  # keep candidates simple
+            candidate = route_key(cost + hop_cost, (neighbor,) + path)
+            incumbent = best.get(neighbor)
+            if incumbent is None or candidate < incumbent:
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+
+    parents: Dict[NodeId, NodeId] = {}
+    paths: Dict[NodeId, PathTuple] = {}
+    costs: Dict[NodeId, Cost] = {}
+    for node, (cost, _hops, path) in finalized.items():
+        if node == destination:
+            continue
+        parents[node] = path[1]
+        paths[node] = path
+        costs[node] = cost
+    return RouteTree(
+        destination=destination,
+        parents=parents,
+        _paths=paths,
+        _costs=costs,
+    )
+
+
+def lowest_cost(graph: ASGraph, source: NodeId, destination: NodeId) -> Tuple[Cost, PathTuple]:
+    """Convenience: the selected LCP and its cost for a single pair."""
+    tree = route_tree(graph, destination)
+    return tree.cost(source), tree.path(source)

@@ -1,0 +1,57 @@
+"""Path helpers and the canonical cost-accumulation convention.
+
+Floating-point addition is not associative, so two components that sum
+the same transit costs in different orders can disagree on the last bit
+and then *break ties differently*, which would make the distributed
+protocol pick different routes than the centralized reference.  To rule
+this out, every component in the library accumulates path costs **from
+the destination side**: for a path ``(i, v_s, ..., v_1, j)`` the cost is
+
+    ``((c_{v_1} + c_{v_2}) + ...) + c_{v_s}``
+
+This is exactly the order in which destination-rooted Dijkstra relaxes
+and in which BGP advertisements accumulate cost hop by hop, so all
+engines produce bit-identical costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.exceptions import GraphError
+from repro.types import Cost, NodeId, PathTuple
+
+
+def transit_cost(cost_of: Callable[[NodeId], Cost], path: Sequence[NodeId]) -> Cost:
+    """Cost of *path*: sum of intermediate node costs, destination-first.
+
+    *cost_of* maps a node to its declared cost.  Endpoints contribute
+    nothing.  A two-node path costs exactly ``0.0``.
+    """
+    if len(path) < 2:
+        raise GraphError(f"path must have at least two nodes, got {list(path)}")
+    total = 0.0
+    for node in reversed(path[1:-1]):
+        total += cost_of(node)
+    return total
+
+
+def validate_path(path: Sequence[NodeId], source: NodeId, destination: NodeId) -> PathTuple:
+    """Check that *path* is a simple path from *source* to *destination*
+    and return it as a tuple.  Adjacency is *not* checked here (use
+    :meth:`ASGraph.path_cost` for that); this validates shape only."""
+    path = tuple(path)
+    if len(path) < 2:
+        raise GraphError(f"path must have at least two nodes, got {list(path)}")
+    if path[0] != source:
+        raise GraphError(f"path starts at {path[0]}, expected {source}")
+    if path[-1] != destination:
+        raise GraphError(f"path ends at {path[-1]}, expected {destination}")
+    if len(set(path)) != len(path):
+        raise GraphError(f"path revisits a node: {list(path)}")
+    return path
+
+
+def transit_nodes(path: Sequence[NodeId]) -> PathTuple:
+    """The intermediate nodes of *path* (those with ``I_k = 1``)."""
+    return tuple(path[1:-1])

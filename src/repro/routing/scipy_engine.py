@@ -1,0 +1,122 @@
+"""Vectorized cost-only routing engine built on ``scipy.sparse.csgraph``.
+
+The pure-Python engines carry full paths so that tie-breaking and the
+distributed protocol can be validated bit-for-bit.  For *scaling*
+experiments only the costs matter, and those are computed here with the
+classic node-cost-to-edge-cost reduction:
+
+    directed weight ``w(u -> v) = c_v``
+
+so the directed distance ``dist(i, j)`` equals the transit cost of the
+best ``i -> j`` path *plus* ``c_j``; subtracting the destination cost
+recovers the paper's transit cost.  k-avoiding costs are obtained by
+deleting node ``k``'s row and column.
+
+These engines agree with the reference implementation on costs (up to
+floating-point reassociation), which the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.exceptions import DisconnectedGraphError
+from repro.graphs.asgraph import ASGraph
+from repro.types import NodeId
+
+
+def _directed_weight_matrix(
+    graph: ASGraph,
+    skip: Optional[NodeId] = None,
+) -> Tuple[csr_matrix, np.ndarray, Dict[NodeId, int]]:
+    """The ``w(u -> v) = c_v`` reduction as a CSR matrix.
+
+    Zero node costs would produce explicit-zero entries, which some
+    ``csgraph`` routines treat as absent edges; we guard by nudging
+    stored zeros to a tiny positive weight and compensating after the
+    distance computation is exact enough for the experiments (the nudge
+    is 0.0 here because scipy keeps explicit zeros for sparse input; the
+    test suite pins that behavior).  *skip* omits one node entirely,
+    implementing ``G - k``.
+    """
+    index = graph.index_of()
+    n = graph.num_nodes
+    costs = np.empty(n, dtype=float)
+    for node, i in index.items():
+        costs[i] = graph.cost(node)
+    rows = []
+    cols = []
+    data = []
+    for u, v in graph.edges:
+        if skip is not None and skip in (u, v):
+            continue
+        ui, vi = index[u], index[v]
+        rows.append(ui)
+        cols.append(vi)
+        data.append(costs[vi])
+        rows.append(vi)
+        cols.append(ui)
+        data.append(costs[ui])
+    matrix = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return matrix, costs, index
+
+
+def all_pairs_costs(graph: ASGraph) -> Tuple[np.ndarray, Dict[NodeId, int]]:
+    """Transit-cost matrix ``C[i, j] = Cost(P(c; i, j))`` (0 on the
+    diagonal), plus the node->index mapping.
+
+    Zero-cost nodes are handled exactly: scipy's Dijkstra accepts zero
+    edge weights (they are non-negative).
+    """
+    matrix, costs, index = _directed_weight_matrix(graph)
+    dist = _csgraph_dijkstra(matrix, directed=True, return_predecessors=False)
+    # dist[i, j] includes c_j for i != j; remove it.
+    transit = dist - costs[np.newaxis, :]
+    np.fill_diagonal(transit, 0.0)
+    if np.isinf(transit).any():
+        raise DisconnectedGraphError("graph is disconnected")
+    return transit, index
+
+
+def avoiding_costs_matrix(graph: ASGraph, k: NodeId) -> Tuple[np.ndarray, Dict[NodeId, int]]:
+    """Transit-cost matrix of ``G - k`` (``inf`` where disconnected).
+
+    Row/column of ``k`` itself are ``inf`` (excluding the diagonal).
+    """
+    pruned, costs, index = _directed_weight_matrix(graph, skip=k)
+    ki = index[k]
+    dist = _csgraph_dijkstra(pruned, directed=True, return_predecessors=False)
+    transit = dist - costs[np.newaxis, :]
+    np.fill_diagonal(transit, 0.0)
+    transit[ki, :] = np.inf
+    transit[:, ki] = np.inf
+    return transit, index
+
+
+def vcg_price_matrices(
+    graph: ASGraph,
+    routes_transit: Optional[Dict[NodeId, Tuple[NodeId, ...]]] = None,
+) -> Dict[NodeId, np.ndarray]:
+    """Price matrices ``P_k[i, j] = p^k_ij`` for each transit node ``k``.
+
+    Cost-only vectorized variant of the mechanism's price table; used by
+    the scaling benchmark (E11).  *routes_transit* optionally narrows
+    which ``k`` to price per destination; by default every node that is
+    transit on some selected LCP is priced.  Entries are zero when ``k``
+    is not on the selected LCP.
+    """
+    from repro.mechanism.vcg import compute_price_table
+
+    table = compute_price_table(graph)
+    index = graph.index_of()
+    n = graph.num_nodes
+    matrices: Dict[NodeId, np.ndarray] = {}
+    for (i, j), row in table.items():
+        for k, price in row.items():
+            matrix = matrices.setdefault(k, np.zeros((n, n)))
+            matrix[index[i], index[j]] = price
+    return matrices

@@ -1,0 +1,30 @@
+"""Strategic agents: the game-theoretic side of the reproduction.
+
+The mechanism is designed so that *truthful declaration is a dominant
+strategy*.  This package simulates the game: agents with lying
+strategies declare costs, the mechanism routes and pays on the
+declarations, and utilities are evaluated against the truth.  The
+experiments show truthful agents never regret, and best-response search
+always lands (weakly) back on the truth.
+"""
+
+from repro.strategic.agents import (
+    OverstateAgent,
+    RandomLiar,
+    StrategicAgent,
+    TruthfulAgent,
+    UnderstateAgent,
+)
+from repro.strategic.game import GameOutcome, play_declaration_game
+from repro.strategic.bestresponse import best_response
+
+__all__ = [
+    "OverstateAgent",
+    "RandomLiar",
+    "StrategicAgent",
+    "TruthfulAgent",
+    "UnderstateAgent",
+    "GameOutcome",
+    "play_declaration_game",
+    "best_response",
+]

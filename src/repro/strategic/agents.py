@@ -1,0 +1,85 @@
+"""Declaration strategies for AS agents.
+
+An agent's strategy maps its private true cost (and a private RNG) to a
+declared cost.  The two canonical temptations are the footnote-1 lies:
+
+* **understate** -- "announcing a lower-than-truthful cost might attract
+  more than enough additional traffic to offset the lower price";
+* **overstate** -- "announcing a higher-than-truthful cost might produce
+  an increase in the price".
+
+Under the VCG mechanism neither helps, which the game in
+:mod:`repro.strategic.game` demonstrates.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.types import Cost
+
+
+class StrategicAgent(abc.ABC):
+    """A declaration strategy for one AS."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def declare(self, true_cost: Cost, rng: random.Random) -> Cost:
+        """The cost this agent announces, given its private true cost."""
+
+
+class TruthfulAgent(StrategicAgent):
+    """Declares the truth -- the strategy the mechanism rewards."""
+
+    name = "truthful"
+
+    def declare(self, true_cost: Cost, rng: random.Random) -> Cost:
+        return true_cost
+
+
+class OverstateAgent(StrategicAgent):
+    """Inflates its cost by a fixed factor (and optional offset),
+    hoping for a higher price."""
+
+    name = "overstate"
+
+    def __init__(self, factor: float = 1.5, offset: float = 0.0) -> None:
+        if factor < 1.0 or offset < 0.0:
+            raise ValueError("overstatement needs factor >= 1 and offset >= 0")
+        self.factor = factor
+        self.offset = offset
+
+    def declare(self, true_cost: Cost, rng: random.Random) -> Cost:
+        return true_cost * self.factor + self.offset
+
+
+class UnderstateAgent(StrategicAgent):
+    """Deflates its cost by a fixed factor, hoping to attract traffic."""
+
+    name = "understate"
+
+    def __init__(self, factor: float = 0.5) -> None:
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("understatement needs factor in [0, 1]")
+        self.factor = factor
+
+    def declare(self, true_cost: Cost, rng: random.Random) -> Cost:
+        return true_cost * self.factor
+
+
+class RandomLiar(StrategicAgent):
+    """Declares a uniformly random cost in ``[0, spread * true + 1]`` --
+    a fuzzer for the strategyproofness property."""
+
+    name = "random"
+
+    def __init__(self, spread: float = 3.0) -> None:
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        self.spread = spread
+
+    def declare(self, true_cost: Cost, rng: random.Random) -> Cost:
+        return rng.uniform(0.0, self.spread * true_cost + 1.0)

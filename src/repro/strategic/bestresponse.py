@@ -1,0 +1,88 @@
+"""Best-response search over declarations.
+
+For a strategyproof mechanism the truth is always a best response, so a
+numeric search over an agent's declaration space must never find a
+declaration with strictly higher utility than the truth.  The search
+here is a dense grid plus random probes -- deliberately adversarial
+rather than clever, since its job is falsification.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import compute_price_table
+from repro.mechanism.welfare import node_utility
+from repro.traffic.matrix import TrafficMatrix
+from repro.types import Cost, NodeId
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """The outcome of a best-response search for one agent."""
+
+    node: NodeId
+    true_cost: Cost
+    best_declaration: Cost
+    best_utility: Cost
+    truthful_utility: Cost
+    probes: int
+
+    @property
+    def truth_is_best(self) -> bool:
+        """Truth weakly maximizes utility (up to float noise)."""
+        return self.best_utility <= self.truthful_utility + 1e-9
+
+
+def best_response(
+    graph: ASGraph,
+    node: NodeId,
+    traffic: TrafficMatrix,
+    declared_others: Optional[Mapping[NodeId, Cost]] = None,
+    grid_points: int = 15,
+    random_probes: int = 10,
+    seed: int = 0,
+) -> BestResponse:
+    """Search *node*'s declaration space for a profitable deviation.
+
+    *declared_others* fixes the opponents' declarations (defaults to
+    their true costs); the probed range is ``[0, 3 * true + 5]``.
+    """
+    rng = random.Random(seed)
+    true_cost = graph.cost(node)
+    traffic_map = dict(traffic.items())
+    base_costs = dict(graph.costs())
+    if declared_others:
+        base_costs.update(declared_others)
+        base_costs[node] = true_cost
+
+    def utility(declaration: Cost) -> Cost:
+        costs = dict(base_costs)
+        costs[node] = declaration
+        table = compute_price_table(graph.with_costs(costs))
+        return node_utility(table, traffic_map, node, true_cost=true_cost)
+
+    high = 3.0 * true_cost + 5.0
+    probes = [true_cost]
+    probes.extend(high * index / (grid_points - 1) for index in range(grid_points))
+    probes.extend(rng.uniform(0.0, high) for _ in range(random_probes))
+
+    truthful_utility = utility(true_cost)
+    best_declaration = true_cost
+    best_utility = truthful_utility
+    for declaration in probes:
+        value = utility(declaration)
+        if value > best_utility:
+            best_utility = value
+            best_declaration = declaration
+    return BestResponse(
+        node=node,
+        true_cost=true_cost,
+        best_declaration=best_declaration,
+        best_utility=best_utility,
+        truthful_utility=truthful_utility,
+        probes=len(probes),
+    )

@@ -1,0 +1,88 @@
+"""The declaration game.
+
+All agents simultaneously declare costs (per their strategies); the
+mechanism routes and pays on the declared profile; utilities are
+evaluated against the true costs.  Strategyproofness is a *dominant
+strategy* property, so the decisive check is per-agent: fixing all
+other declarations, switching yourself to the truth never lowers your
+utility.  :func:`play_declaration_game` computes exactly that
+counterfactual for every agent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import compute_price_table
+from repro.mechanism.welfare import node_utility
+from repro.strategic.agents import StrategicAgent, TruthfulAgent
+from repro.traffic.matrix import TrafficMatrix
+from repro.types import Cost, NodeId
+
+
+@dataclass
+class GameOutcome:
+    """What happened to every agent in one play of the game."""
+
+    declared: Dict[NodeId, Cost]
+    utilities: Dict[NodeId, Cost]
+    truthful_counterfactuals: Dict[NodeId, Cost] = field(default_factory=dict)
+
+    def regret(self, node: NodeId) -> Cost:
+        """How much the agent would have gained by switching to the
+        truth (>= 0 means lying never helped -- strategyproofness)."""
+        return self.truthful_counterfactuals[node] - self.utilities[node]
+
+    @property
+    def any_liar_beat_truth(self) -> bool:
+        """Whether some agent did strictly better lying than it would
+        have done truthfully (should never happen)."""
+        return any(self.regret(node) < -1e-9 for node in self.utilities)
+
+
+def play_declaration_game(
+    graph: ASGraph,
+    strategies: Mapping[NodeId, StrategicAgent],
+    traffic: TrafficMatrix,
+    seed: int = 0,
+) -> GameOutcome:
+    """Play one round and evaluate per-agent truthful counterfactuals.
+
+    *graph* carries the **true** costs; *strategies* may cover any
+    subset of nodes (others default to truthful).
+    """
+    rng = random.Random(seed)
+    truthful = TruthfulAgent()
+    declared: Dict[NodeId, Cost] = {}
+    for node in graph.nodes:
+        strategy = strategies.get(node, truthful)
+        declared[node] = max(0.0, float(strategy.declare(graph.cost(node), rng)))
+
+    declared_graph = graph.with_costs(declared)
+    table = compute_price_table(declared_graph)
+    traffic_map = dict(traffic.items())
+
+    utilities: Dict[NodeId, Cost] = {}
+    counterfactuals: Dict[NodeId, Cost] = {}
+    for node in graph.nodes:
+        utilities[node] = node_utility(
+            table, traffic_map, node, true_cost=graph.cost(node)
+        )
+        if declared[node] == graph.cost(node):
+            counterfactuals[node] = utilities[node]
+            continue
+        # Fix everyone else's declaration, switch this agent to truth.
+        counter_costs = dict(declared)
+        counter_costs[node] = graph.cost(node)
+        counter_table = compute_price_table(graph.with_costs(counter_costs))
+        counterfactuals[node] = node_utility(
+            counter_table, traffic_map, node, true_cost=graph.cost(node)
+        )
+    return GameOutcome(
+        declared=declared,
+        utilities=utilities,
+        truthful_counterfactuals=counterfactuals,
+    )

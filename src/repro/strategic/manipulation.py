@@ -1,0 +1,186 @@
+"""Protocol manipulation: the paper's closing open problem, made concrete.
+
+Section 7: "even if the ASs input their true costs, what is to stop
+them from running a different algorithm that computes prices more
+favorable to them?"  This module exhibits one such algorithm and a
+countermeasure:
+
+* :class:`ManipulativePriceNode` declares its cost truthfully but
+  *deflates the path cost* in its outgoing advertisements.  Downstream
+  sources then (a) prefer routes through the manipulator and (b)
+  compute ``p^k_ij = c_k + detour - c(i,j)`` with an understated
+  ``c(i,j)`` -- inflating every price on the path, the manipulator's
+  own included.  Traffic attraction and per-packet overpayment compound:
+  the manipulator's utility strictly exceeds its honest-protocol
+  utility even though its declared *input* is the truth.  This is why
+  Theorem 1's strategyproofness (which quantifies only over inputs)
+  does not close the incentive problem.
+
+* :func:`audit_advertisement` is the obvious integrity check: an
+  advertisement's cost must equal the sum of the declared per-node
+  costs it itself carries.  The simple deflation is caught by every
+  honest neighbor; a full defense (against colluding or
+  cost-vector-forging manipulators) remains open, as the paper says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.bgp.engine import SynchronousEngine
+from repro.bgp.messages import RouteAdvertisement
+from repro.bgp.policy import SelectionPolicy
+from repro.core.price_node import PriceComputingNode, UpdateMode
+from repro.graphs.asgraph import ASGraph
+from repro.routing.paths import transit_cost
+from repro.types import Cost, NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+class ManipulativePriceNode(PriceComputingNode):
+    """Runs the honest algorithm internally but advertises deflated
+    path costs (its declared per-node cost stays truthful)."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        declared_cost: Cost,
+        policy: Optional[SelectionPolicy] = None,
+        mode: UpdateMode = UpdateMode.MONOTONE,
+        deflate_by: Cost = 0.0,
+    ) -> None:
+        super().__init__(node_id, declared_cost, policy, mode=mode)
+        if deflate_by < 0:
+            raise ValueError("deflation must be non-negative")
+        self.deflate_by = deflate_by
+
+    def _advert_for(self, destination: NodeId) -> RouteAdvertisement:
+        honest = super()._advert_for(destination)
+        if self.deflate_by == 0.0 or len(honest.path) < 3:
+            return honest  # nothing to skim on a direct route
+        return RouteAdvertisement(
+            sender=honest.sender,
+            destination=honest.destination,
+            path=honest.path,
+            cost=max(0.0, honest.cost - self.deflate_by),
+            node_costs=honest.node_costs,
+            prices=honest.prices,
+            generation=honest.generation,
+        )
+
+
+def audit_advertisement(advert: RouteAdvertisement) -> bool:
+    """Integrity check: the advertised cost must equal the transit cost
+    recomputed from the advertisement's own per-node cost claims."""
+    if advert.is_self_route:
+        return advert.cost == 0.0
+    try:
+        expected = transit_cost(lambda node: advert.node_costs[node], advert.path)
+    except KeyError:
+        return False
+    return abs(expected - advert.cost) <= 1e-9
+
+
+def audit_engine(engine: SynchronousEngine) -> Dict[NodeId, int]:
+    """Audit every stored advertisement at every node; returns
+    ``advertiser -> number of inconsistent advertisements seen``."""
+    flagged: Dict[NodeId, int] = {}
+    for node in engine.nodes.values():
+        for neighbor in node.rib_in.neighbors():
+            for destination in node.rib_in.destinations():
+                advert = node.rib_in.advert(neighbor, destination)
+                if advert is not None and not audit_advertisement(advert):
+                    flagged[advert.sender] = flagged.get(advert.sender, 0) + 1
+    return flagged
+
+
+@dataclass(frozen=True)
+class ManipulationOutcome:
+    """Honest vs manipulative protocol runs, from the manipulator's view."""
+
+    manipulator: NodeId
+    deflate_by: Cost
+    honest_payment: Cost
+    honest_utility: Cost
+    manipulated_payment: Cost
+    manipulated_utility: Cost
+    packets_carried_honest: float
+    packets_carried_manipulated: float
+    audit_flags: Dict[NodeId, int]
+
+    @property
+    def gain(self) -> Cost:
+        return self.manipulated_utility - self.honest_utility
+
+    @property
+    def profitable(self) -> bool:
+        return self.gain > 1e-9
+
+    @property
+    def caught(self) -> bool:
+        return self.manipulator in self.audit_flags
+
+
+def _run_and_account(
+    graph: ASGraph,
+    traffic: Mapping[PairKey, float],
+    manipulator: NodeId,
+    deflate_by: Cost,
+) -> Tuple[Cost, Cost, float, SynchronousEngine]:
+    """Run the protocol (deflation possibly zero) and account the
+    manipulator's payment/utility from the sources' computed prices."""
+
+    def factory(node_id: NodeId, cost: Cost, policy: SelectionPolicy):
+        if node_id == manipulator:
+            return ManipulativePriceNode(
+                node_id, cost, policy, deflate_by=deflate_by
+            )
+        return PriceComputingNode(node_id, cost, policy)
+
+    engine = SynchronousEngine(graph, node_factory=factory)
+    engine.initialize()
+    engine.run()
+
+    payment = 0.0
+    carried = 0.0
+    for (source, destination), intensity in traffic.items():
+        if not intensity:
+            continue
+        node = engine.nodes[source]
+        entry = node.route(destination)
+        if entry is None or manipulator not in entry.path[1:-1]:
+            continue
+        carried += intensity
+        price = node.price_rows.get(destination, {}).get(manipulator, 0.0)
+        payment += intensity * price
+    utility = payment - graph.cost(manipulator) * carried
+    return payment, utility, carried, engine
+
+
+def manipulation_outcome(
+    graph: ASGraph,
+    manipulator: NodeId,
+    traffic: Mapping[PairKey, float],
+    deflate_by: Cost,
+) -> ManipulationOutcome:
+    """Compare the manipulator's economics across honest and deflated
+    runs, and audit the deflated run."""
+    honest_payment, honest_utility, honest_carried, _ = _run_and_account(
+        graph, traffic, manipulator, 0.0
+    )
+    payment, utility, carried, engine = _run_and_account(
+        graph, traffic, manipulator, deflate_by
+    )
+    return ManipulationOutcome(
+        manipulator=manipulator,
+        deflate_by=deflate_by,
+        honest_payment=honest_payment,
+        honest_utility=honest_utility,
+        manipulated_payment=payment,
+        manipulated_utility=utility,
+        packets_carried_honest=honest_carried,
+        packets_carried_manipulated=carried,
+        audit_flags=audit_engine(engine),
+    )

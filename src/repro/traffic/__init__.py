@@ -1,0 +1,19 @@
+"""Traffic matrices: the ``T_ij`` intensities of Section 3."""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.generators import (
+    gravity_traffic,
+    hotspot_traffic,
+    single_packet,
+    sparse_traffic,
+    uniform_traffic,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "gravity_traffic",
+    "hotspot_traffic",
+    "single_packet",
+    "sparse_traffic",
+    "uniform_traffic",
+]

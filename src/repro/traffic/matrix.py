@@ -1,0 +1,95 @@
+"""The traffic matrix ``[T_ij]``.
+
+A thin validated mapping from ordered node pairs to packet intensities.
+Intensities are non-negative reals (packet counts or rates); absent
+pairs carry zero traffic.  The matrix is immutable once built --
+experiments hand the same matrix to routing, pricing, accounting, and
+strategic evaluation, and nothing may mutate it in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import TrafficMatrixError
+from repro.graphs.asgraph import ASGraph
+from repro.types import NodeId
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+class TrafficMatrix:
+    """Validated, immutable packet intensities per ordered pair."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[PairKey, float]) -> None:
+        validated: Dict[PairKey, float] = {}
+        for (source, destination), intensity in entries.items():
+            if source == destination:
+                raise TrafficMatrixError(
+                    f"self-traffic ({source} -> {destination}) is not modeled"
+                )
+            value = float(intensity)
+            if value != value or value < 0:
+                raise TrafficMatrixError(
+                    f"intensity for ({source}, {destination}) must be a "
+                    f"non-negative number, got {intensity!r}"
+                )
+            if value > 0:
+                validated[(source, destination)] = value
+        self._entries = validated
+
+    # Mapping-ish interface (read-only).
+    def __getitem__(self, pair: PairKey) -> float:
+        return self._entries.get(pair, 0.0)
+
+    def get(self, pair: PairKey, default: float = 0.0) -> float:
+        return self._entries.get(pair, default)
+
+    def items(self):
+        return self._entries.items()
+
+    def keys(self):
+        return self._entries.keys()
+
+    def values(self):
+        return self._entries.values()
+
+    def __iter__(self) -> Iterator[PairKey]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._entries
+
+    @property
+    def total_packets(self) -> float:
+        return float(sum(self._entries.values()))
+
+    def pairs(self) -> Tuple[PairKey, ...]:
+        return tuple(sorted(self._entries))
+
+    def restricted_to(self, graph: ASGraph) -> "TrafficMatrix":
+        """Validate that every endpoint exists in *graph* and return
+        self (fluent precondition check for experiment pipelines)."""
+        for source, destination in self._entries:
+            if source not in graph or destination not in graph:
+                raise TrafficMatrixError(
+                    f"traffic pair ({source}, {destination}) references a "
+                    "node outside the graph"
+                )
+        return self
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with all intensities multiplied by *factor* >= 0."""
+        if factor < 0:
+            raise TrafficMatrixError(f"scale factor must be >= 0, got {factor}")
+        return TrafficMatrix(
+            {pair: value * factor for pair, value in self._entries.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"TrafficMatrix(pairs={len(self._entries)}, packets={self.total_packets})"

@@ -1,0 +1,68 @@
+"""Shared type aliases and small value types used across the library.
+
+The conventions here mirror Section 3 of the paper:
+
+* A *node* is an Autonomous System, identified by an ``int`` AS number.
+* A *cost* is the per-packet transit cost ``c_k`` declared by node ``k``;
+  costs are non-negative floats and may be ``math.inf`` when a node is
+  (hypothetically) removed, as in the Green-Laffont argument of Theorem 1.
+* A *path* is the sequence of nodes from a source to a destination,
+  inclusive of both endpoints.  The cost of a path counts only its
+  *transit* (intermediate) nodes: ``I_i = I_j = 0`` in the paper's
+  indicator notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+NodeId = int
+"""An AS number."""
+
+Cost = float
+"""A per-packet transit cost ``c_k``."""
+
+Edge = Tuple[NodeId, NodeId]
+"""An undirected interconnection between two ASes."""
+
+PathTuple = Tuple[NodeId, ...]
+"""A path as an immutable node sequence, endpoints included."""
+
+CostVector = Mapping[NodeId, Cost]
+"""The declared-cost vector ``c`` keyed by node."""
+
+MutableCostVector = Dict[NodeId, Cost]
+
+PriceKey = Tuple[NodeId, NodeId, NodeId]
+"""``(k, i, j)``: transit node, source, destination for a price ``p^k_ij``."""
+
+AdjacencyList = Mapping[NodeId, Sequence[NodeId]]
+
+INFINITY: Cost = float("inf")
+"""The cost used for unreachable paths and hypothetical node removal."""
+
+
+def is_finite_cost(value: Cost) -> bool:
+    """Return ``True`` when *value* is a usable (finite, non-NaN) cost."""
+    return value == value and value != INFINITY and value != -INFINITY
+
+
+def validate_cost(value: Cost, *, what: str = "cost") -> Cost:
+    """Validate a declared transit cost and return it as a ``float``.
+
+    Costs must be finite and non-negative; the paper's model does not
+    admit negative transit costs (a node cannot profit from merely
+    existing) and reserves infinity for the removal construction used in
+    the uniqueness proof.
+    """
+    cost = float(value)
+    if cost != cost:  # NaN
+        raise ValueError(f"{what} may not be NaN")
+    if cost < 0:
+        raise ValueError(f"{what} must be non-negative, got {cost!r}")
+    if cost == INFINITY:
+        raise ValueError(f"{what} must be finite, got infinity")
+    return cost
+
+
+ListOfPaths = List[PathTuple]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import (
+    FIG1_LABELS,
+    fig1_graph,
+    integer_costs,
+    random_biconnected_graph,
+    ring_graph,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1 example graph."""
+    return fig1_graph()
+
+
+@pytest.fixture
+def labels():
+    """Human labels for the Figure 1 graph (X=0, A=1, B=2, D=3, Y=4, Z=5)."""
+    return dict(FIG1_LABELS)
+
+
+@pytest.fixture
+def triangle():
+    """The smallest biconnected graph: a 3-cycle with distinct costs."""
+    return ASGraph(
+        nodes=[(0, 1.0), (1, 2.0), (2, 4.0)],
+        edges=[(0, 1), (1, 2), (0, 2)],
+    )
+
+
+@pytest.fixture
+def square():
+    """A 4-cycle: every pair has exactly two disjoint routes."""
+    return ASGraph(
+        nodes=[(0, 1.0), (1, 2.0), (2, 3.0), (3, 5.0)],
+        edges=[(0, 1), (1, 2), (2, 3), (3, 0)],
+    )
+
+
+@pytest.fixture
+def small_random():
+    """A deterministic 10-node random biconnected graph with integer
+    costs (ties are common, stressing tie-breaking)."""
+    return random_biconnected_graph(10, 0.25, seed=7, cost_sampler=integer_costs(0, 5))
+
+
+@pytest.fixture
+def ring6():
+    """A 6-ring with integer costs."""
+    return ring_graph(6, seed=3, cost_sampler=integer_costs(1, 4))

@@ -1,0 +1,95 @@
+"""Tests for repro.accounting (Section 6.4)."""
+
+import math
+
+import pytest
+
+from repro.accounting.settlement import run_accounting, settle
+from repro.accounting.tally import PacketTally
+from repro.exceptions import MechanismError
+from repro.mechanism.vcg import compute_price_table, payments
+from repro.traffic.generators import gravity_traffic, uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestPacketTally:
+    def test_records_per_transit_charges(self, fig1, labels):
+        table = compute_price_table(fig1)
+        tally = PacketTally(labels["X"])
+        tally.record_packets(labels["Z"], table.row(labels["X"], labels["Z"]))
+        assert tally.owed(labels["D"]) == 3.0
+        assert tally.owed(labels["B"]) == 4.0
+        assert tally.owed(labels["A"]) == 0.0
+        assert tally.packets_sent == 1.0
+
+    def test_counts_accumulate(self, fig1, labels):
+        table = compute_price_table(fig1)
+        tally = PacketTally(labels["X"])
+        row = table.row(labels["X"], labels["Z"])
+        tally.record_packets(labels["Z"], row, count=2.0)
+        tally.record_packets(labels["Z"], row, count=3.0)
+        assert tally.owed(labels["D"]) == 15.0
+
+    def test_rejects_negative_count(self, labels):
+        tally = PacketTally(labels["X"])
+        with pytest.raises(MechanismError):
+            tally.record_packets(labels["Z"], {}, count=-1.0)
+
+    def test_rejects_self_destination(self, labels):
+        tally = PacketTally(labels["X"])
+        with pytest.raises(MechanismError, match="self-traffic"):
+            tally.record_packets(labels["X"], {})
+
+    def test_rejects_unconverged_prices(self, labels):
+        tally = PacketTally(labels["X"])
+        with pytest.raises(MechanismError, match="converged"):
+            tally.record_packets(labels["Z"], {labels["D"]: math.inf})
+
+    def test_drain_resets(self, fig1, labels):
+        table = compute_price_table(fig1)
+        tally = PacketTally(labels["X"])
+        tally.record_packets(labels["Z"], table.row(labels["X"], labels["Z"]))
+        drained = tally.drain()
+        assert drained[labels["D"]] == 3.0
+        assert tally.total_owed == 0.0
+
+    def test_snapshot_does_not_reset(self, fig1, labels):
+        table = compute_price_table(fig1)
+        tally = PacketTally(labels["X"])
+        tally.record_packets(labels["Z"], table.row(labels["X"], labels["Z"]))
+        snapshot = tally.snapshot()
+        assert snapshot[labels["B"]] == 4.0
+        assert tally.total_owed == 7.0
+
+
+class TestSettlement:
+    def test_settle_aggregates(self, fig1, labels):
+        table = compute_price_table(fig1)
+        t1 = PacketTally(labels["X"])
+        t1.record_packets(labels["Z"], table.row(labels["X"], labels["Z"]))
+        t2 = PacketTally(labels["Y"])
+        t2.record_packets(labels["Z"], table.row(labels["Y"], labels["Z"]))
+        report = settle([t1, t2])
+        assert report.revenue[labels["D"]] == 12.0  # 3 + 9
+        assert report.sources_settled == 2
+
+    def test_run_accounting_matches_payments(self, fig1):
+        table = compute_price_table(fig1)
+        traffic = uniform_traffic(fig1, intensity=2.0)
+        report, reference = run_accounting(table, traffic)
+        for node in fig1.nodes:
+            assert report.revenue.get(node, 0.0) == pytest.approx(
+                reference.get(node, 0.0)
+            )
+
+    def test_run_accounting_gravity(self, small_random):
+        table = compute_price_table(small_random)
+        traffic = gravity_traffic(small_random, seed=3)
+        report, reference = run_accounting(table, traffic)
+        assert report.total() == pytest.approx(sum(reference.values()))
+
+    def test_empty_traffic(self, fig1):
+        table = compute_price_table(fig1)
+        report, reference = run_accounting(table, TrafficMatrix({}))
+        assert report.total() == 0.0
+        assert all(value == 0.0 for value in reference.values())

@@ -1,0 +1,73 @@
+"""Tests for repro.routing.allpairs."""
+
+import pytest
+
+from repro.exceptions import DisconnectedGraphError
+from repro.graphs.asgraph import ASGraph
+from repro.routing.allpairs import all_pairs_lcp
+
+
+class TestAllPairs:
+    def test_covers_all_ordered_pairs(self, fig1):
+        routes = all_pairs_lcp(fig1)
+        n = fig1.num_nodes
+        assert len(routes.paths) == n * (n - 1)
+
+    def test_paths_have_right_endpoints(self, fig1):
+        routes = all_pairs_lcp(fig1)
+        for (source, destination), path in routes.paths.items():
+            assert path[0] == source
+            assert path[-1] == destination
+
+    def test_costs_match_graph_path_cost(self, small_random):
+        routes = all_pairs_lcp(small_random)
+        for (source, destination), path in routes.paths.items():
+            assert routes.cost(source, destination) == pytest.approx(
+                small_random.path_cost(path)
+            )
+
+    def test_indicator(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        assert routes.indicator(labels["D"], labels["X"], labels["Z"])
+        assert not routes.indicator(labels["A"], labels["X"], labels["Z"])
+        # endpoints never count
+        assert not routes.indicator(labels["X"], labels["X"], labels["Z"])
+
+    def test_transit_nodes_per_destination(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        transit = routes.transit_nodes(labels["Z"])
+        assert labels["D"] in transit
+        assert labels["B"] in transit
+        assert labels["Z"] not in transit
+
+    def test_max_hops_is_d(self, fig1):
+        routes = all_pairs_lcp(fig1)
+        assert routes.max_hops() == 3
+
+    def test_disconnected_raises(self):
+        graph = ASGraph(
+            nodes=[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            edges=[(0, 1), (2, 3)],
+        )
+        with pytest.raises(DisconnectedGraphError):
+            all_pairs_lcp(graph)
+
+    def test_hops_helper(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        assert routes.hops(labels["X"], labels["Z"]) == 3
+
+    def test_iteration_sorted(self, triangle):
+        routes = all_pairs_lcp(triangle)
+        pairs = list(routes)
+        assert pairs == sorted(pairs)
+
+    def test_symmetric_costs_on_undirected_graph(self, small_random):
+        # bidirectional links + direction-free node costs make the cost
+        # (not necessarily the path) symmetric
+        routes = all_pairs_lcp(small_random)
+        for source in small_random.nodes:
+            for destination in small_random.nodes:
+                if source < destination:
+                    assert routes.cost(source, destination) == pytest.approx(
+                        routes.cost(destination, source)
+                    )

@@ -1,0 +1,180 @@
+"""Tests for repro.graphs.asgraph."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.asgraph import ASGraph
+
+
+class TestConstruction:
+    def test_basic_construction(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert triangle.nodes == (0, 1, 2)
+
+    def test_costs_are_floats(self, triangle):
+        assert triangle.cost(1) == 2.0
+        assert isinstance(triangle.cost(1), float)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(GraphError, match="duplicate node"):
+            ASGraph(nodes=[(0, 1.0), (0, 2.0)])
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            ASGraph(nodes=[(-1, 1.0)])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ASGraph(nodes=[(0, -1.0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            ASGraph(nodes=[(0, 1.0)], edges=[(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate link"):
+            ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 1), (1, 0)])
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 2)])
+
+    def test_from_edges_infers_nodes(self):
+        graph = ASGraph.from_edges([(0, 1), (1, 2)], costs={1: 5.0}, default_cost=2.0)
+        assert graph.nodes == (0, 1, 2)
+        assert graph.cost(1) == 5.0
+        assert graph.cost(0) == 2.0
+
+    def test_zero_cost_allowed(self):
+        graph = ASGraph(nodes=[(0, 0.0), (1, 0.0)], edges=[(0, 1)])
+        assert graph.cost(0) == 0.0
+
+
+class TestAccess:
+    def test_neighbors_sorted(self, fig1):
+        assert fig1.neighbors(3) == (2, 4, 5)  # D: B, Y, Z
+
+    def test_neighbors_unknown_node(self, fig1):
+        with pytest.raises(GraphError, match="unknown node"):
+            fig1.neighbors(99)
+
+    def test_degree(self, fig1):
+        assert fig1.degree(3) == 3
+
+    def test_has_edge_symmetric(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+        assert not triangle.has_edge(0, 99)
+
+    def test_contains(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert list(triangle) == [0, 1, 2]
+
+    def test_costs_returns_copy(self, triangle):
+        costs = triangle.costs()
+        costs[0] = 999.0
+        assert triangle.cost(0) == 1.0
+
+    def test_edges_normalized(self, fig1):
+        for u, v in fig1.edges:
+            assert u < v
+
+    def test_index_of_is_dense(self, fig1):
+        index = fig1.index_of()
+        assert sorted(index.values()) == list(range(fig1.num_nodes))
+
+
+class TestPathCost:
+    def test_endpoints_free(self, triangle):
+        # path 0 - 1: no intermediate nodes
+        assert triangle.path_cost((0, 1)) == 0.0
+
+    def test_single_transit(self, triangle):
+        assert triangle.path_cost((0, 1, 2)) == 2.0
+
+    def test_fig1_worked_example(self, fig1, labels):
+        X, B, D, Z = labels["X"], labels["B"], labels["D"], labels["Z"]
+        assert fig1.path_cost((X, B, D, Z)) == 3.0
+
+    def test_rejects_short_path(self, triangle):
+        with pytest.raises(GraphError, match="at least two"):
+            triangle.path_cost((0,))
+
+    def test_rejects_revisit(self, square):
+        with pytest.raises(GraphError, match="revisits"):
+            square.path_cost((0, 1, 0, 3))
+
+    def test_rejects_missing_link(self, square):
+        with pytest.raises(GraphError, match="missing link"):
+            square.path_cost((0, 2))
+
+
+class TestDerivation:
+    def test_with_cost(self, triangle):
+        derived = triangle.with_cost(1, 10.0)
+        assert derived.cost(1) == 10.0
+        assert triangle.cost(1) == 2.0  # original untouched
+        assert derived.edges == triangle.edges
+
+    def test_with_cost_unknown_node(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.with_cost(99, 1.0)
+
+    def test_with_costs_bulk(self, triangle):
+        derived = triangle.with_costs({0: 9.0, 2: 8.0})
+        assert derived.cost(0) == 9.0
+        assert derived.cost(1) == 2.0
+        assert derived.cost(2) == 8.0
+
+    def test_with_costs_unknown_node(self, triangle):
+        with pytest.raises(GraphError, match="unknown nodes"):
+            triangle.with_costs({99: 1.0})
+
+    def test_without_node(self, fig1, labels):
+        derived = fig1.without_node(labels["D"])
+        assert labels["D"] not in derived
+        assert derived.num_nodes == 5
+        assert all(labels["D"] not in edge for edge in derived.edges)
+
+    def test_without_edge(self, square):
+        derived = square.without_edge(0, 1)
+        assert not derived.has_edge(0, 1)
+        assert derived.num_edges == 3
+        assert derived.num_nodes == 4
+
+    def test_without_missing_edge(self, square):
+        with pytest.raises(GraphError, match="no link"):
+            square.without_edge(0, 2)
+
+    def test_with_edge(self, square):
+        derived = square.with_edge(0, 2)
+        assert derived.has_edge(0, 2)
+        assert derived.num_edges == 5
+
+    def test_equality(self, triangle):
+        clone = ASGraph(
+            nodes=[(0, 1.0), (1, 2.0), (2, 4.0)],
+            edges=[(0, 2), (1, 2), (0, 1)],  # different order
+        )
+        assert triangle == clone
+        assert triangle != triangle.with_cost(0, 9.0)
+
+
+class TestConnectivity:
+    def test_connected(self, triangle):
+        assert triangle.is_connected()
+
+    def test_disconnected(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0), (2, 1.0)], edges=[(0, 1)])
+        assert not graph.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert ASGraph(nodes=[]).is_connected()
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "ASGraph(n=3, m=3)"

@@ -1,0 +1,101 @@
+"""Tests for repro.routing.avoiding (k-avoiding paths)."""
+
+import pytest
+
+from repro.exceptions import NotBiconnectedError, UnreachableError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import integer_costs, random_biconnected_graph
+from repro.routing.avoiding import (
+    avoiding_cost,
+    avoiding_costs_for_destination,
+    avoiding_path,
+    avoiding_tree,
+    max_avoiding_hops,
+)
+from repro.routing.dijkstra import route_tree
+
+
+class TestAvoidingPath:
+    def test_fig1_d_avoiding_from_x(self, fig1, labels):
+        path = avoiding_path(fig1, labels["X"], labels["Z"], labels["D"])
+        assert path == (labels["X"], labels["A"], labels["Z"])
+        assert avoiding_cost(fig1, labels["X"], labels["Z"], labels["D"]) == 5.0
+
+    def test_fig1_d_avoiding_from_y(self, fig1, labels):
+        path = avoiding_path(fig1, labels["Y"], labels["Z"], labels["D"])
+        assert path == (
+            labels["Y"], labels["B"], labels["X"], labels["A"], labels["Z"]
+        )
+        assert avoiding_cost(fig1, labels["Y"], labels["Z"], labels["D"]) == 9.0
+
+    def test_avoided_node_absent(self, small_random):
+        nodes = small_random.nodes
+        source, destination, k = nodes[0], nodes[5], nodes[2]
+        if k in (source, destination):
+            pytest.skip("degenerate draw")
+        path = avoiding_path(small_random, source, destination, k)
+        assert k not in path
+
+    def test_avoiding_endpoint_rejected(self, fig1, labels):
+        with pytest.raises(UnreachableError):
+            avoiding_cost(fig1, labels["X"], labels["Z"], labels["X"])
+        with pytest.raises(UnreachableError):
+            avoiding_cost(fig1, labels["X"], labels["Z"], labels["Z"])
+
+    def test_cut_vertex_raises(self):
+        # two triangles sharing node 2: avoiding 2 disconnects sides
+        graph = ASGraph(
+            nodes=[(i, 1.0) for i in range(5)],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        with pytest.raises(UnreachableError):
+            avoiding_cost(graph, 0, 4, 2)
+
+    def test_avoiding_cost_at_least_lcp(self, small_random):
+        tree_cache = {}
+        for destination in small_random.nodes:
+            tree_cache[destination] = route_tree(small_random, destination)
+        for destination in small_random.nodes:
+            tree = tree_cache[destination]
+            for source in tree.sources():
+                for k in tree.path(source)[1:-1]:
+                    detour = avoiding_cost(small_random, source, destination, k)
+                    assert detour >= tree.cost(source) - 1e-12
+
+
+class TestBatchedTrees:
+    def test_batched_matches_single(self, fig1, labels):
+        Z = labels["Z"]
+        transit = (labels["B"], labels["D"])
+        trees = avoiding_costs_for_destination(fig1, Z, transit)
+        for k in transit:
+            single = avoiding_tree(fig1, Z, k)
+            for source in single.sources():
+                assert trees[k].cost(source) == single.cost(source)
+
+    def test_destination_skipped(self, fig1, labels):
+        trees = avoiding_costs_for_destination(
+            fig1, labels["Z"], (labels["Z"], labels["D"])
+        )
+        assert labels["Z"] not in trees
+        assert labels["D"] in trees
+
+
+class TestMaxAvoidingHops:
+    def test_fig1(self, fig1):
+        assert max_avoiding_hops(fig1) == 4
+
+    def test_raises_on_non_biconnected(self):
+        graph = ASGraph(
+            nodes=[(i, 1.0) for i in range(5)],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        with pytest.raises(NotBiconnectedError):
+            max_avoiding_hops(graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_d_prime_at_least_d_is_not_guaranteed_but_both_positive(self, seed):
+        graph = random_biconnected_graph(
+            9, 0.3, seed=seed, cost_sampler=integer_costs(1, 5)
+        )
+        assert max_avoiding_hops(graph) >= 1

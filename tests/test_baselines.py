@@ -1,0 +1,161 @@
+"""Tests for repro.baselines (Nisan-Ronen, Hershberger-Suri, hop-count)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.hershberger_suri import (
+    replacement_path_costs,
+    replacement_path_costs_naive,
+)
+from repro.baselines.hopcount_bgp import hopcount_routes, route_stretch
+from repro.baselines.nisan_ronen import (
+    EdgeWeightedGraph,
+    nisan_ronen_mechanism,
+)
+from repro.exceptions import GraphError, UnreachableError
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+
+
+def diamond():
+    """Two parallel 2-edge routes between 0 and 3."""
+    return EdgeWeightedGraph({
+        (0, 1): 1.0, (1, 3): 2.0,   # top route, cost 3
+        (0, 2): 2.0, (2, 3): 3.0,   # bottom route, cost 5
+    })
+
+
+def random_edge_graph(n, extra, seed):
+    rng = random.Random(seed)
+    costs = {}
+    for i in range(n):
+        u, v = i, (i + 1) % n
+        costs[(min(u, v), max(u, v))] = rng.uniform(1.0, 10.0)
+    while extra:
+        u, v = rng.sample(range(n), 2)
+        key = (min(u, v), max(u, v))
+        if key not in costs:
+            costs[key] = rng.uniform(1.0, 10.0)
+            extra -= 1
+    return EdgeWeightedGraph(costs)
+
+
+class TestEdgeWeightedGraph:
+    def test_shortest_path(self):
+        cost, path = diamond().shortest_path(0, 3)
+        assert cost == 3.0
+        assert path == (0, 1, 3)
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeWeightedGraph({(0, 1): 1.0, (1, 0): 2.0})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeWeightedGraph({(0, 0): 1.0})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeWeightedGraph({(0, 1): -1.0})
+
+    def test_unreachable(self):
+        graph = EdgeWeightedGraph({(0, 1): 1.0, (2, 3): 1.0})
+        with pytest.raises(UnreachableError):
+            graph.shortest_path(0, 3)
+        assert graph.distance(0, 3) == math.inf
+
+    def test_with_edge_cost(self):
+        graph = diamond().with_edge_cost(0, 1, 10.0)
+        cost, path = graph.shortest_path(0, 3)
+        assert path == (0, 2, 3)
+        assert cost == 5.0
+
+
+class TestNisanRonen:
+    def test_diamond_payments(self):
+        result = nisan_ronen_mechanism(diamond(), 0, 3)
+        assert result.path == (0, 1, 3)
+        assert result.path_cost == 3.0
+        # payment(e) = d_{e=inf} - d_{e=0}
+        # removing (0,1): detour 5; setting it free: 0 + 2 = 2 -> pays 3
+        assert result.payments[(0, 1)] == pytest.approx(3.0)
+        # removing (1,3): detour 5; free: 1 + 0 = 1 -> pays 4
+        assert result.payments[(1, 3)] == pytest.approx(4.0)
+        assert result.total_payment == pytest.approx(7.0)
+        assert result.overpayment_ratio == pytest.approx(7.0 / 3.0)
+
+    def test_bridge_raises(self):
+        graph = EdgeWeightedGraph({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 5.0, (2, 3): 1.0})
+        with pytest.raises(UnreachableError):
+            nisan_ronen_mechanism(graph, 0, 3)  # (2,3) is a bridge
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_formula_equivalence(self, seed):
+        graph = random_edge_graph(9, 6, seed)
+        rng = random.Random(seed)
+        source, target = rng.sample(range(9), 2)
+        result = nisan_ronen_mechanism(graph, source, target)
+        for (u, v), payment in result.payments.items():
+            marginal = (
+                graph.cost(u, v)
+                + graph.without_edge(u, v).distance(source, target)
+                - result.path_cost
+            )
+            assert payment == pytest.approx(marginal)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_payments_cover_costs(self, seed):
+        graph = random_edge_graph(8, 5, seed)
+        result = nisan_ronen_mechanism(graph, 0, 4)
+        for (u, v), payment in result.payments.items():
+            assert payment >= graph.cost(u, v) - 1e-9
+
+
+class TestHershbergerSuri:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cut_scan_matches_naive(self, seed):
+        graph = random_edge_graph(10, 8, seed)
+        rng = random.Random(seed + 100)
+        for _ in range(3):
+            source, target = rng.sample(range(10), 2)
+            fast = replacement_path_costs(graph, source, target)
+            naive = replacement_path_costs_naive(graph, source, target)
+            assert set(fast) == set(naive)
+            for edge in naive:
+                if math.isinf(naive[edge]):
+                    assert math.isinf(fast[edge])
+                else:
+                    assert fast[edge] == pytest.approx(naive[edge]), (edge, seed)
+
+    def test_bridge_reports_infinity(self):
+        graph = EdgeWeightedGraph({(0, 1): 1.0, (1, 2): 1.0, (0, 2): 3.0, (2, 3): 1.0})
+        fast = replacement_path_costs(graph, 0, 3)
+        assert math.isinf(fast[(2, 3)])
+
+
+class TestHopcountBaseline:
+    def test_routes_cover_all_pairs(self, small_random):
+        routes = hopcount_routes(small_random)
+        n = small_random.num_nodes
+        assert len(routes) == n * (n - 1)
+
+    def test_hopcount_minimizes_hops(self, fig1, labels):
+        routes = hopcount_routes(fig1)
+        # X->Z: hop-count BGP prefers the 2-hop X-A-Z over the cheaper
+        # 3-hop X-B-D-Z
+        assert routes[(labels["X"], labels["Z"])] == (
+            labels["X"], labels["A"], labels["Z"],
+        )
+
+    def test_stretch_fig1(self, fig1):
+        report = route_stretch(fig1)
+        # the X->Z pair pays 5 instead of 3: stretch 5/3
+        assert report.max_stretch >= 5.0 / 3.0 - 1e-9
+        assert report.pairs_suboptimal >= 1
+        assert report.aggregate_stretch >= 1.0
+
+    def test_stretch_never_below_one(self, small_random):
+        report = route_stretch(small_random)
+        assert report.mean_stretch >= 1.0 - 1e-9
+        assert report.total_hopcount_cost >= report.total_lcp_cost - 1e-9

@@ -1,0 +1,72 @@
+"""Tests for repro.bgp.messages."""
+
+import pytest
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.exceptions import ProtocolError
+
+
+def make_advert(**overrides):
+    fields = dict(
+        sender=1,
+        destination=3,
+        path=(1, 2, 3),
+        cost=5.0,
+        node_costs={1: 2.0, 2: 5.0, 3: 1.0},
+        prices={2: 6.0},
+    )
+    fields.update(overrides)
+    return RouteAdvertisement(**fields)
+
+
+class TestValidation:
+    def test_happy_path(self):
+        advert = make_advert()
+        assert advert.hops == 2
+        assert not advert.is_self_route
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ProtocolError, match="empty path"):
+            make_advert(path=())
+
+    def test_path_must_start_at_sender(self):
+        with pytest.raises(ProtocolError, match="start"):
+            make_advert(path=(2, 3))
+
+    def test_path_must_end_at_destination(self):
+        with pytest.raises(ProtocolError, match="end"):
+            make_advert(path=(1, 2), destination=3)
+
+    def test_loopy_path_rejected(self):
+        with pytest.raises(ProtocolError, match="revisits"):
+            make_advert(path=(1, 2, 1, 3))
+
+    def test_self_route(self):
+        advert = RouteAdvertisement(
+            sender=4, destination=4, path=(4,), cost=0.0, node_costs={4: 1.0}
+        )
+        assert advert.is_self_route
+        assert advert.hops == 0
+
+
+class TestSenderCost:
+    def test_reads_from_node_costs(self):
+        assert make_advert().sender_cost == 2.0
+
+    def test_missing_own_cost_raises(self):
+        advert = make_advert(node_costs={2: 5.0, 3: 1.0})
+        with pytest.raises(ProtocolError, match="its own cost"):
+            advert.sender_cost
+
+
+class TestSize:
+    def test_size_entries(self):
+        advert = make_advert()
+        # 3 path entries + 3 cost entries + 1 price entry
+        assert advert.size_entries() == 7
+
+    def test_generation_default_zero(self):
+        assert make_advert().generation == 0
+
+    def test_generation_carried(self):
+        assert make_advert(generation=3).generation == 3

@@ -1,0 +1,171 @@
+"""Tests for repro.graphs.biconnectivity."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, NotBiconnectedError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.biconnectivity import (
+    articulation_points,
+    biconnected_components,
+    ensure_biconnected,
+    is_biconnected,
+    make_biconnected,
+)
+
+
+def path_graph(n):
+    return ASGraph(
+        nodes=[(i, 1.0) for i in range(n)],
+        edges=[(i, i + 1) for i in range(n - 1)],
+    )
+
+
+def two_triangles_sharing_a_node():
+    """Classic articulation example: node 2 joins two triangles."""
+    return ASGraph(
+        nodes=[(i, 1.0) for i in range(5)],
+        edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+    )
+
+
+class TestArticulationPoints:
+    def test_cycle_has_none(self, square):
+        assert articulation_points(square) == set()
+
+    def test_path_interior_nodes(self):
+        assert articulation_points(path_graph(5)) == {1, 2, 3}
+
+    def test_shared_node_of_two_triangles(self):
+        assert articulation_points(two_triangles_sharing_a_node()) == {2}
+
+    def test_star_center(self):
+        star = ASGraph(
+            nodes=[(i, 1.0) for i in range(4)],
+            edges=[(0, 1), (0, 2), (0, 3)],
+        )
+        assert articulation_points(star) == {0}
+
+    def test_fig1_has_none(self, fig1):
+        assert articulation_points(fig1) == set()
+
+    def test_disconnected_graph(self):
+        graph = ASGraph(
+            nodes=[(i, 1.0) for i in range(6)],
+            edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert articulation_points(graph) == set()
+
+    def test_matches_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        rng = random.Random(42)
+        for trial in range(20):
+            n = rng.randint(4, 15)
+            edges = set()
+            for _ in range(rng.randint(n - 1, 2 * n)):
+                u, v = rng.sample(range(n), 2)
+                edges.add((min(u, v), max(u, v)))
+            graph = ASGraph(nodes=[(i, 1.0) for i in range(n)], edges=sorted(edges))
+            nx_graph = networkx.Graph()
+            nx_graph.add_nodes_from(range(n))
+            nx_graph.add_edges_from(edges)
+            assert articulation_points(graph) == set(
+                networkx.articulation_points(nx_graph)
+            ), f"trial {trial}"
+
+
+class TestBiconnectedComponents:
+    def test_cycle_is_one_component(self, square):
+        components = biconnected_components(square)
+        assert len(components) == 1
+        assert components[0] == frozenset(square.edges)
+
+    def test_bridge_is_own_component(self):
+        graph = ASGraph(
+            nodes=[(i, 1.0) for i in range(4)],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3)],
+        )
+        components = biconnected_components(graph)
+        assert frozenset({(2, 3)}) in components
+        assert len(components) == 2
+
+    def test_components_partition_edges(self, fig1):
+        components = biconnected_components(fig1)
+        all_edges = [edge for component in components for edge in component]
+        assert sorted(all_edges) == sorted(fig1.edges)
+
+
+class TestIsBiconnected:
+    def test_triangle(self, triangle):
+        assert is_biconnected(triangle)
+
+    def test_single_edge_is_not(self):
+        assert not is_biconnected(ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 1)]))
+
+    def test_path_is_not(self):
+        assert not is_biconnected(path_graph(4))
+
+    def test_disconnected_is_not(self):
+        graph = ASGraph(nodes=[(i, 1.0) for i in range(6)],
+                        edges=[(0, 1), (1, 2), (0, 2)])
+        assert not is_biconnected(graph)
+
+    def test_fig1(self, fig1):
+        assert is_biconnected(fig1)
+
+
+class TestEnsureBiconnected:
+    def test_passes_silently(self, triangle):
+        ensure_biconnected(triangle)
+
+    def test_raises_with_articulation_points(self):
+        with pytest.raises(NotBiconnectedError) as excinfo:
+            ensure_biconnected(two_triangles_sharing_a_node())
+        assert excinfo.value.articulation_points == (2,)
+
+    def test_raises_on_tiny_graph(self):
+        with pytest.raises(NotBiconnectedError, match="fewer than 3"):
+            ensure_biconnected(ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 1)]))
+
+    def test_raises_on_disconnected(self):
+        graph = ASGraph(nodes=[(i, 1.0) for i in range(4)], edges=[(0, 1)])
+        with pytest.raises(NotBiconnectedError, match="disconnected"):
+            ensure_biconnected(graph)
+
+
+class TestMakeBiconnected:
+    def test_repairs_a_path(self):
+        repaired = make_biconnected(path_graph(6), rng=random.Random(1))
+        assert is_biconnected(repaired)
+
+    def test_preserves_existing_edges(self):
+        original = path_graph(6)
+        repaired = make_biconnected(original, rng=random.Random(1))
+        for edge in original.edges:
+            assert edge in repaired.edges
+
+    def test_repairs_disconnected(self):
+        graph = ASGraph(
+            nodes=[(i, 1.0) for i in range(6)],
+            edges=[(0, 1), (1, 2), (3, 4), (4, 5)],
+        )
+        repaired = make_biconnected(graph, rng=random.Random(2))
+        assert is_biconnected(repaired)
+
+    def test_noop_when_already_biconnected(self, square):
+        repaired = make_biconnected(square, rng=random.Random(0))
+        assert repaired == square
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(GraphError, match="fewer than 3"):
+            make_biconnected(ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 1)]))
+
+    def test_costs_preserved(self):
+        graph = ASGraph(
+            nodes=[(0, 1.5), (1, 2.5), (2, 3.5), (3, 4.5)],
+            edges=[(0, 1), (1, 2), (2, 3)],
+        )
+        repaired = make_biconnected(graph, rng=random.Random(3))
+        for node in graph.nodes:
+            assert repaired.cost(node) == graph.cost(node)

@@ -1,0 +1,88 @@
+"""Tests for the capacity/congestion probe (Section 7 open problem)."""
+
+import pytest
+
+from repro.extensions.capacity import (
+    congestion_report,
+    greedy_decongest,
+    node_loads,
+)
+from repro.graphs.generators import fig1_graph, integer_costs, isp_like_graph
+from repro.routing.allpairs import all_pairs_lcp
+from repro.traffic.generators import gravity_traffic, uniform_traffic
+
+
+class TestNodeLoads:
+    def test_single_flow(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        loads = node_loads(dict(routes.paths), {(labels["X"], labels["Z"]): 5.0})
+        assert loads[labels["B"]] == 5.0
+        assert loads[labels["D"]] == 5.0
+        assert labels["A"] not in loads
+
+    def test_loads_sum_over_flows(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 2.0, (labels["Y"], labels["Z"]): 3.0}
+        loads = node_loads(dict(routes.paths), traffic)
+        assert loads[labels["D"]] == 5.0  # on both LCPs
+
+
+class TestCongestionReport:
+    def test_infeasible_detection(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 10.0}
+        report = congestion_report(fig1, {labels["D"]: 5.0}, traffic)
+        assert labels["D"] in report.overloaded
+        assert not report.feasible
+        assert report.utilization(labels["D"]) == pytest.approx(2.0)
+
+    def test_feasible_with_room(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 10.0}
+        report = congestion_report(fig1, {labels["D"]: 50.0}, traffic)
+        assert report.feasible
+        assert report.max_utilization == pytest.approx(0.2)
+
+    def test_total_cost_matches_welfare(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 1.0, (labels["Y"], labels["Z"]): 1.0}
+        report = congestion_report(fig1, {}, traffic)
+        assert report.total_cost == pytest.approx(4.0)  # 3 + 1
+
+
+class TestGreedyDecongest:
+    def test_noop_when_feasible(self, fig1):
+        traffic = dict(uniform_traffic(fig1).items())
+        capacities = {node: 1e9 for node in fig1.nodes}
+        result = greedy_decongest(fig1, capacities, traffic)
+        assert result.moved_pairs == []
+        assert result.cost_premium == 0.0
+
+    def test_moves_traffic_off_hot_node(self, fig1, labels):
+        # X->Z and Y->Z both transit D; cap D to force a move
+        traffic = {(labels["X"], labels["Z"]): 4.0, (labels["Y"], labels["Z"]): 4.0}
+        capacities = {node: 1e9 for node in fig1.nodes}
+        capacities[labels["D"]] = 4.0
+        result = greedy_decongest(fig1, capacities, traffic)
+        assert result.moved_pairs
+        assert result.after.feasible
+        # feasibility costs something: the detour is pricier
+        assert result.cost_premium > 0.0
+        # the moved flow now avoids D
+        for pair in result.moved_pairs:
+            assert labels["D"] not in result.routes_by_pair[pair][1:-1]
+
+    def test_cost_never_decreases(self):
+        graph = isp_like_graph(14, seed=2, cost_sampler=integer_costs(1, 5))
+        traffic = dict(gravity_traffic(graph, seed=2, total=500.0).items())
+        baseline = congestion_report(graph, {}, traffic)
+        capacities = {
+            node: max(1.0, 0.6 * baseline.loads.get(node, 0.0))
+            for node in graph.nodes
+        }
+        result = greedy_decongest(graph, capacities, traffic)
+        assert result.cost_premium >= -1e-9
+
+    def test_respects_move_budget(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 4.0, (labels["Y"], labels["Z"]): 4.0}
+        capacities = {node: 1e9 for node in fig1.nodes}
+        capacities[labels["D"]] = 1.0
+        result = greedy_decongest(fig1, capacities, traffic, max_moves=1)
+        assert len(result.moved_pairs) <= 1

@@ -1,0 +1,96 @@
+"""Tests for repro.core.convergence and repro.core.dynamics."""
+
+import pytest
+
+from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+from repro.bgp.metrics import ConvergenceReport
+from repro.core.convergence import ConvergenceBound, convergence_bound
+from repro.core.dynamics import apply_event_to_graph, run_dynamic_scenario
+from repro.core.price_node import UpdateMode
+from repro.exceptions import ExperimentError
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+
+
+class TestConvergenceBound:
+    def test_fig1_values(self):
+        bound = convergence_bound(fig1_graph())
+        assert bound.d == 3
+        assert bound.d_prime == 4
+        assert bound.stages == 4
+
+    def test_satisfied_by(self):
+        bound = ConvergenceBound(d=3, d_prime=4)
+        good = ConvergenceReport(converged=True, stages=4)
+        bad = ConvergenceReport(converged=True, stages=5)
+        assert bound.satisfied_by(good)
+        assert not bound.satisfied_by(bad)
+        assert bound.satisfied_by(bad, slack=1)
+
+
+class TestApplyEventToGraph:
+    def test_link_failure(self, square):
+        mutated = apply_event_to_graph(square, LinkFailure(0, 1))
+        assert not mutated.has_edge(0, 1)
+
+    def test_link_recovery(self, square):
+        failed = square.without_edge(0, 1)
+        recovered = apply_event_to_graph(failed, LinkRecovery(0, 1))
+        assert recovered.has_edge(0, 1)
+
+    def test_cost_change(self, square):
+        mutated = apply_event_to_graph(square, CostChange(2, 42.0))
+        assert mutated.cost(2) == 42.0
+
+    def test_event_descriptions(self):
+        assert "fails" in LinkFailure(0, 1).describe()
+        assert "recovers" in LinkRecovery(0, 1).describe()
+        assert "re-declares" in CostChange(0, 2.0).describe()
+
+
+class TestDynamicScenario:
+    @pytest.mark.parametrize("mode", list(UpdateMode))
+    def test_fig1_cost_change(self, labels, mode):
+        graph = fig1_graph()
+        events = [CostChange(labels["D"], 50.0)]
+        run = run_dynamic_scenario(graph, events, mode=mode)
+        assert run.all_ok
+        assert run.all_within_bound
+        assert len(run.epochs) == 2
+
+    def test_fig1_failure_and_recovery(self, labels):
+        graph = fig1_graph()
+        # removing B-D leaves the 6-cycle X-A-Z-D-Y-B-X: still biconnected
+        events = [LinkFailure(labels["B"], labels["D"]),
+                  LinkRecovery(labels["B"], labels["D"])]
+        run = run_dynamic_scenario(graph, events)
+        assert run.all_ok
+        descriptions = [epoch.description for epoch in run.epochs]
+        assert descriptions[0] == "initial convergence"
+        assert "fails" in descriptions[1]
+        assert "recovers" in descriptions[2]
+
+    def test_biconnectivity_guard(self, labels):
+        graph = fig1_graph()
+        # removing A-Z makes A's other connection critical: check guard
+        # on an event that truly breaks biconnectivity
+        events = [LinkFailure(labels["A"], labels["Z"])]
+        # A would be left with degree 1 -> not biconnected
+        with pytest.raises(ExperimentError, match="biconnectivity"):
+            run_dynamic_scenario(graph, events)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_random_graph_events(self, seed):
+        graph = random_biconnected_graph(
+            10, 0.35, seed=seed, cost_sampler=integer_costs(1, 5)
+        )
+        busiest = max(graph.nodes, key=graph.degree)
+        events = [CostChange(busiest, graph.cost(busiest) + 3.0)]
+        run = run_dynamic_scenario(graph, events)
+        assert run.all_ok
+        assert run.all_within_bound
+
+    def test_epoch_records_cold_stages(self, labels):
+        graph = fig1_graph()
+        run = run_dynamic_scenario(graph, [CostChange(labels["D"], 2.0)])
+        for epoch in run.epochs:
+            assert epoch.cold_stages <= epoch.bound.stages

@@ -1,0 +1,172 @@
+"""Tests for repro.core.cases (the four update rules, in isolation).
+
+Each test constructs an advertisement by hand and checks the candidate
+values against the inequality derivations of Section 6.
+"""
+
+import math
+
+import pytest
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.core.cases import NeighborRelation, classify_neighbor, price_candidates
+
+INF = float("inf")
+
+
+def advert(sender, destination, path, cost, node_costs, prices=None, generation=0):
+    return RouteAdvertisement(
+        sender=sender,
+        destination=destination,
+        path=path,
+        cost=cost,
+        node_costs=node_costs,
+        prices=prices or {},
+        generation=generation,
+    )
+
+
+class TestClassification:
+    def test_parent(self):
+        a = advert(1, 9, (1, 9), 0.0, {1: 1.0, 9: 1.0})
+        assert classify_neighbor(0, (0, 1, 9), 1, a) is NeighborRelation.PARENT
+
+    def test_child(self):
+        a = advert(2, 9, (2, 0, 1, 9), 2.0, {2: 1.0, 0: 1.0, 1: 1.0, 9: 1.0})
+        assert classify_neighbor(0, (0, 1, 9), 2, a) is NeighborRelation.CHILD
+
+    def test_other(self):
+        a = advert(3, 9, (3, 9), 0.0, {3: 1.0, 9: 1.0})
+        assert classify_neighbor(0, (0, 1, 9), 3, a) is NeighborRelation.OTHER
+
+    def test_other_when_no_advert(self):
+        assert classify_neighbor(0, (0, 1, 9), 3, None) is NeighborRelation.OTHER
+
+    def test_parent_takes_precedence(self):
+        # path through neighbor 1 -> parent even if classification data
+        # could suggest otherwise
+        a = advert(1, 9, (1, 9), 0.0, {1: 1.0, 9: 1.0})
+        assert classify_neighbor(0, (0, 1, 9), 1, a) is NeighborRelation.PARENT
+
+
+class TestParentCandidates:
+    def test_prices_transfer_unchanged(self):
+        # i = 0 routes 0-1-2-9; parent 1 has price for transit node 2
+        a = advert(
+            1, 9, (1, 2, 9), 3.0, {1: 1.0, 2: 3.0, 9: 1.0}, prices={2: 4.5}
+        )
+        candidates = price_candidates(
+            self_id=0,
+            self_cost=1.0,
+            my_path=(0, 1, 2, 9),
+            my_cost=4.0,
+            my_node_costs={0: 1.0, 1: 1.0, 2: 3.0, 9: 1.0},
+            neighbor=1,
+            advert=a,
+        )
+        assert candidates == {2: 4.5}  # Eq. 2: p^k_ij <= p^k_aj
+
+    def test_no_candidate_for_parent_itself(self):
+        a = advert(1, 9, (1, 2, 9), 3.0, {1: 1.0, 2: 3.0, 9: 1.0}, prices={2: 4.5})
+        candidates = price_candidates(
+            self_id=0,
+            self_cost=1.0,
+            my_path=(0, 1, 2, 9),
+            my_cost=4.0,
+            my_node_costs={0: 1.0, 1: 1.0, 2: 3.0, 9: 1.0},
+            neighbor=1,
+            advert=a,
+        )
+        assert 1 not in candidates  # the excluded a == k parent case
+
+    def test_infinite_parent_price_passes_through(self):
+        a = advert(1, 9, (1, 2, 9), 3.0, {1: 1.0, 2: 3.0, 9: 1.0}, prices={2: INF})
+        candidates = price_candidates(
+            0, 1.0, (0, 1, 2, 9), 4.0,
+            {0: 1.0, 1: 1.0, 2: 3.0, 9: 1.0}, 1, a,
+        )
+        assert candidates[2] == INF
+
+
+class TestChildAndOtherCandidates:
+    def test_child_uses_advert_consistent_formula(self):
+        # child a=2 routes (2, 0, 1, 9); my path (0, 1, 9); k = 1.
+        # Eq. 4 evaluated on the advert: p + c_a + c(a,j) - c(i,j)
+        a = advert(
+            2, 9, (2, 0, 1, 9), 3.0,
+            {2: 2.0, 0: 1.0, 1: 2.0, 9: 1.0},
+            prices={0: 5.0, 1: 7.0},
+        )
+        candidates = price_candidates(
+            self_id=0,
+            self_cost=1.0,
+            my_path=(0, 1, 9),
+            my_cost=2.0,
+            my_node_costs={0: 1.0, 1: 2.0, 9: 1.0},
+            neighbor=2,
+            advert=a,
+        )
+        # p^1_aj + c_a + c(a,j) - c(i,j) = 7 + 2 + 3 - 2 = 10
+        assert candidates[1] == pytest.approx(10.0)
+        # at convergence c(a,j) = c_i + c(i,j) makes this equal Eq. 3:
+        # p + c_i + c_a = 7 + 1 + 2 = 10
+        assert candidates[1] == pytest.approx(7.0 + 1.0 + 2.0)
+
+    def test_other_with_k_on_neighbor_path(self):
+        # k = 1 on both paths; Eq. 4
+        a = advert(
+            3, 9, (3, 1, 9), 2.0, {3: 4.0, 1: 2.0, 9: 1.0}, prices={1: 6.0}
+        )
+        candidates = price_candidates(
+            0, 1.0, (0, 1, 9), 2.0, {0: 1.0, 1: 2.0, 9: 1.0}, 3, a,
+        )
+        # 6 + 4 + 2 - 2 = 10
+        assert candidates[1] == pytest.approx(10.0)
+
+    def test_other_with_k_off_neighbor_path(self):
+        # k = 1 not on (3, 4, 9); Eq. 5: c_k + c_a + c(a,j) - c(i,j)
+        a = advert(3, 9, (3, 4, 9), 5.0, {3: 4.0, 4: 5.0, 9: 1.0})
+        candidates = price_candidates(
+            0, 1.0, (0, 1, 9), 2.0, {0: 1.0, 1: 2.0, 9: 1.0}, 3, a,
+        )
+        # 2 + 4 + 5 - 2 = 9
+        assert candidates[1] == pytest.approx(9.0)
+
+    def test_neighbor_equal_to_k_skipped(self):
+        # neighbor 1 IS the transit node k on my path but not my parent:
+        # every construction routes through it, so no candidate
+        a = advert(1, 9, (1, 5, 9), 3.0, {1: 2.0, 5: 3.0, 9: 1.0}, prices={5: 4.0})
+        candidates = price_candidates(
+            0, 1.0, (0, 2, 1, 9), 5.0,
+            {0: 1.0, 2: 3.0, 1: 2.0, 9: 1.0}, 1, a,
+        )
+        assert 1 not in candidates
+
+    def test_destination_neighbor_gives_direct_detour(self):
+        # destination 9 is my physical neighbor: appending the link i-9
+        # to nothing is a transit-free detour
+        a = advert(9, 9, (9,), 0.0, {9: 1.0})
+        candidates = price_candidates(
+            0, 1.0, (0, 1, 9), 2.0, {0: 1.0, 1: 2.0, 9: 1.0}, 9, a,
+        )
+        # c_k + 0 - c(i,j) = 2 + 0 - 2 = 0
+        assert candidates[1] == pytest.approx(0.0)
+
+    def test_direct_route_has_no_candidates(self):
+        a = advert(1, 9, (1, 9), 0.0, {1: 1.0, 9: 1.0})
+        assert price_candidates(
+            0, 1.0, (0, 9), 0.0, {0: 1.0, 9: 1.0}, 1, a,
+        ) == {}
+
+    def test_no_advert_no_candidates(self):
+        assert price_candidates(
+            0, 1.0, (0, 1, 9), 2.0, {0: 1.0, 1: 2.0, 9: 1.0}, 3, None,
+        ) == {}
+
+    def test_missing_price_entry_skipped(self):
+        # k on neighbor's path but the neighbor has no price for it yet
+        a = advert(3, 9, (3, 1, 9), 2.0, {3: 4.0, 1: 2.0, 9: 1.0}, prices={})
+        candidates = price_candidates(
+            0, 1.0, (0, 1, 9), 2.0, {0: 1.0, 1: 2.0, 9: 1.0}, 3, a,
+        )
+        assert candidates == {}

@@ -1,0 +1,128 @@
+"""Tests for repro.routing.dijkstra."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import UnreachableError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+from repro.routing.dijkstra import lowest_cost, route_tree
+from repro.routing.tiebreak import route_key
+
+
+def brute_force_best(graph, source, destination):
+    """Minimum-key path by exhaustive enumeration (small graphs only)."""
+    best = None
+    nodes = [n for n in graph.nodes if n not in (source, destination)]
+    for r in range(len(nodes) + 1):
+        for middle in itertools.permutations(nodes, r):
+            path = (source,) + middle + (destination,)
+            if all(graph.has_edge(u, v) for u, v in zip(path, path[1:])):
+                cost = sum(graph.cost(node) for node in path[1:-1])
+                key = route_key(cost, path)
+                if best is None or key < best:
+                    best = key
+    return best
+
+
+class TestRouteTree:
+    def test_fig1_tree_matches_paper(self, fig1, labels):
+        tree = route_tree(fig1, labels["Z"])
+        assert tree.parent(labels["X"]) == labels["B"]
+        assert tree.parent(labels["B"]) == labels["D"]
+        assert tree.parent(labels["Y"]) == labels["D"]
+        assert tree.parent(labels["D"]) == labels["Z"]
+        assert tree.parent(labels["A"]) == labels["Z"]
+
+    def test_fig1_costs(self, fig1, labels):
+        tree = route_tree(fig1, labels["Z"])
+        assert tree.cost(labels["X"]) == 3.0
+        assert tree.cost(labels["Y"]) == 1.0
+        assert tree.cost(labels["A"]) == 0.0  # direct link
+
+    def test_destination_properties(self, triangle):
+        tree = route_tree(triangle, 0)
+        assert tree.path(0) == (0,)
+        assert tree.cost(0) == 0.0
+        with pytest.raises(UnreachableError):
+            tree.parent(0)
+
+    def test_children(self, fig1, labels):
+        tree = route_tree(fig1, labels["Z"])
+        assert tree.children(labels["D"]) == (labels["B"], labels["Y"])
+        assert tree.children(labels["Z"]) == (labels["A"], labels["D"])
+
+    def test_on_path_indicator(self, fig1, labels):
+        tree = route_tree(fig1, labels["Z"])
+        assert tree.on_path(labels["D"], labels["X"])
+        assert tree.on_path(labels["B"], labels["X"])
+        assert not tree.on_path(labels["A"], labels["X"])
+        # endpoints are never transit
+        assert not tree.on_path(labels["X"], labels["X"])
+
+    def test_unreachable_source(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0), (2, 1.0)], edges=[(0, 1)])
+        tree = route_tree(graph, 0)
+        assert not tree.has_route(2)
+        with pytest.raises(UnreachableError):
+            tree.path(2)
+
+    def test_unknown_destination(self, triangle):
+        with pytest.raises(UnreachableError):
+            route_tree(triangle, 99)
+
+    def test_hops(self, fig1, labels):
+        tree = route_tree(fig1, labels["Z"])
+        assert tree.hops(labels["X"]) == 3
+        assert tree.hops(labels["A"]) == 1
+
+    def test_zero_cost_nodes_handled(self):
+        graph = ASGraph(
+            nodes=[(0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0)],
+            edges=[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        tree = route_tree(graph, 3)
+        # both routes cost 0; fewer hops wins
+        assert tree.path(0) == (0, 3)
+        assert tree.path(1) == (1, 0, 3) or tree.path(1) == (1, 2, 3)
+        # lexicographic tie-break between the two 2-hop options: 0 < 2
+        assert tree.path(1) == (1, 0, 3)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exhaustive_search(self, seed):
+        graph = random_biconnected_graph(
+            7, 0.3, seed=seed, cost_sampler=integer_costs(0, 4)
+        )
+        for destination in graph.nodes:
+            tree = route_tree(graph, destination)
+            for source in graph.nodes:
+                if source == destination:
+                    continue
+                expected = brute_force_best(graph, source, destination)
+                actual = route_key(tree.cost(source), tree.path(source))
+                assert actual == expected, (source, destination)
+
+
+class TestSuffixConsistency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_selected_paths_form_tree(self, seed):
+        graph = random_biconnected_graph(
+            10, 0.3, seed=seed, cost_sampler=integer_costs(0, 3)
+        )
+        for destination in graph.nodes:
+            tree = route_tree(graph, destination)
+            for source in tree.sources():
+                path = tree.path(source)
+                # every suffix is the selected path of its head
+                for index in range(1, len(path) - 1):
+                    assert tree.path(path[index]) == path[index:]
+
+
+class TestLowestCost:
+    def test_single_pair_helper(self, fig1, labels):
+        cost, path = lowest_cost(fig1, labels["X"], labels["Z"])
+        assert cost == 3.0
+        assert path == (labels["X"], labels["B"], labels["D"], labels["Z"])

@@ -1,0 +1,170 @@
+"""Tests for the per-neighbor cost extension (Section 3 parenthetical)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.extensions.edgecost import (
+    EdgeCostGraph,
+    compute_edgecost_price_table,
+    edgecost_routes,
+    edgecost_utility,
+    run_edgecost_mechanism,
+    verify_edgecost_result,
+)
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+from repro.mechanism.vcg import compute_price_table
+
+
+def randomized(graph, seed, low=0, high=6):
+    rng = random.Random(seed)
+    forwarding = {
+        node: {v: float(rng.randint(low, high)) for v in graph.neighbors(node)}
+        for node in graph.nodes
+    }
+    return EdgeCostGraph(edges=graph.edges, forwarding_costs=forwarding)
+
+
+def brute_force_transit(graph, source, destination):
+    best = None
+    others = [n for n in graph.nodes if n not in (source, destination)]
+    for r in range(len(others) + 1):
+        for middle in itertools.permutations(others, r):
+            path = (source,) + middle + (destination,)
+            if all(graph.has_edge(u, v) for u, v in zip(path, path[1:])):
+                cost = graph.path_cost(path)
+                if best is None or cost < best:
+                    best = cost
+    return best
+
+
+class TestModel:
+    def test_requires_pricing_every_neighbor(self, triangle):
+        with pytest.raises(GraphError, match="exactly its neighbors"):
+            EdgeCostGraph(
+                edges=triangle.edges,
+                forwarding_costs={0: {1: 1.0}, 1: {0: 1.0, 2: 1.0}, 2: {0: 1.0, 1: 1.0}},
+            )
+
+    def test_path_cost_charges_next_hop(self):
+        graph = EdgeCostGraph(
+            edges=[(0, 1), (1, 2), (0, 2)],
+            forwarding_costs={
+                0: {1: 1.0, 2: 9.0},
+                1: {0: 5.0, 2: 3.0},
+                2: {0: 7.0, 1: 2.0},
+            },
+        )
+        # path 0-1-2: node 1 forwards to 2 -> charges c_1(2) = 3
+        assert graph.path_cost((0, 1, 2)) == 3.0
+        # reversed direction charges c_1(0) = 5
+        assert graph.path_cost((2, 1, 0)) == 5.0
+
+    def test_from_uniform_costs(self, fig1):
+        uniform = EdgeCostGraph.from_uniform(fig1)
+        for node in fig1.nodes:
+            for neighbor in fig1.neighbors(node):
+                assert uniform.forwarding_cost(node, neighbor) == fig1.cost(node)
+
+    def test_with_forwarding_costs(self, triangle):
+        instance = EdgeCostGraph.from_uniform(triangle)
+        changed = instance.with_forwarding_costs(0, {1: 9.0, 2: 8.0})
+        assert changed.forwarding_cost(0, 1) == 9.0
+        assert instance.forwarding_cost(0, 1) == 1.0
+
+    def test_without_node(self, fig1):
+        instance = EdgeCostGraph.from_uniform(fig1)
+        smaller = instance.without_node(3)
+        assert 3 not in smaller.nodes
+
+
+class TestRouting:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transit_cost_is_brute_force_optimal(self, seed):
+        base = random_biconnected_graph(6, 0.3, seed=seed, cost_sampler=integer_costs(1, 3))
+        instance = randomized(base, seed=seed + 50)
+        for destination in instance.nodes:
+            state = edgecost_routes(instance, destination)
+            for source in instance.nodes:
+                if source == destination:
+                    continue
+                assert state.cost(source) == pytest.approx(
+                    brute_force_transit(instance, source, destination)
+                )
+
+    def test_source_path_realizes_cost(self, small_random):
+        instance = randomized(small_random, seed=3)
+        for destination in instance.nodes:
+            state = edgecost_routes(instance, destination)
+            for source in instance.nodes:
+                if source == destination:
+                    continue
+                path = state.path(source)
+                assert path[0] == source and path[-1] == destination
+                assert instance.path_cost(path) == pytest.approx(state.cost(source))
+
+    def test_tree_paths_are_suffix_consistent(self, small_random):
+        instance = randomized(small_random, seed=4)
+        for destination in instance.nodes:
+            state = edgecost_routes(instance, destination)
+            for node, path in state.tree_paths.items():
+                for index in range(1, len(path) - 1):
+                    assert state.tree_paths[path[index]] == path[index:]
+
+
+class TestMechanism:
+    def test_uniform_embedding_equals_base(self, fig1):
+        uniform = EdgeCostGraph.from_uniform(fig1)
+        base = compute_price_table(fig1)
+        ext = compute_edgecost_price_table(uniform)
+        for pair, row in base.items():
+            assert ext.path(*pair) == base.routes.path(*pair)
+            for k, price in row.items():
+                assert ext.price(k, *pair) == pytest.approx(price)
+
+    def test_prices_cover_transit_and_dominate_cost(self, small_random):
+        instance = randomized(small_random, seed=6, low=1)
+        table = compute_edgecost_price_table(instance)
+        for destination in instance.nodes:
+            for source in instance.nodes:
+                if source == destination:
+                    continue
+                path = table.path(source, destination)
+                row = table.row(source, destination)
+                assert set(row) == set(path[1:-1])
+                for index in range(1, len(path) - 1):
+                    k = path[index]
+                    incurred = instance.forwarding_cost(k, path[index + 1])
+                    assert row[k] >= incurred - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vector_lies_never_profit(self, seed):
+        base = random_biconnected_graph(7, 0.3, seed=seed, cost_sampler=integer_costs(1, 3))
+        instance = randomized(base, seed=seed + 10, low=1, high=5)
+        rng = random.Random(seed)
+        traffic = {(i, j): 1.0 for i in instance.nodes for j in instance.nodes if i != j}
+        for k in instance.nodes[:4]:
+            truthful = edgecost_utility(instance, k, None, traffic)
+            for _ in range(4):
+                lie = {v: rng.uniform(0.0, 8.0) for v in instance.neighbors(k)}
+                assert edgecost_utility(instance, k, lie, traffic) <= truthful + 1e-9
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_centralized(self, seed):
+        base = random_biconnected_graph(9, 0.3, seed=seed, cost_sampler=integer_costs(1, 3))
+        instance = randomized(base, seed=seed + 30)
+        result = run_edgecost_mechanism(instance)
+        verification = verify_edgecost_result(result)
+        assert verification.ok, verification.mismatches[:3]
+
+    def test_uniform_instance_distributed(self, fig1):
+        instance = EdgeCostGraph.from_uniform(fig1)
+        result = run_edgecost_mechanism(instance)
+        assert verify_edgecost_result(result).ok
+        # the worked example survives the embedding
+        assert result.price(3, 0, 5) == pytest.approx(3.0)
+        assert result.price(3, 4, 5) == pytest.approx(9.0)

@@ -1,0 +1,61 @@
+"""Tests for the experiment harness: every registered experiment must
+run at small scale and report PASS -- this is the reproduction's
+top-level assertion."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.runner import run_all, run_experiment, write_experiments_md
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+
+    def test_list_matches_registry(self):
+        listed = list_experiments()
+        assert [eid for eid, _title in listed] == list(EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("E99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
+def test_experiment_passes_at_small_scale(experiment_id):
+    result = run_experiment(experiment_id, scale="small", seed=0)
+    assert result.experiment_id == experiment_id
+    assert result.tables, "every experiment must render at least one table"
+    assert result.passed, result.render()
+
+
+class TestRendering:
+    def test_render_text(self):
+        result = run_experiment("E1")
+        text = result.render()
+        assert "[E1]" in text
+        assert "PASS" in text
+
+    def test_render_markdown(self):
+        result = run_experiment("E1")
+        md = result.to_markdown()
+        assert md.startswith("## E1")
+        assert "**PASS**" in md
+
+    def test_write_experiments_md(self, tmp_path):
+        results = [run_experiment("E1"), run_experiment("E2")]
+        target = tmp_path / "EXPERIMENTS.md"
+        write_experiments_md(target, results, scale="small")
+        content = target.read_text()
+        assert "2/2 experiments PASS" in content
+        assert "## E1" in content
+        assert "## E2" in content
+
+    def test_run_all_subset(self):
+        results = run_all(only=["E1", "E2"])
+        assert [result.experiment_id for result in results] == ["E1", "E2"]

@@ -1,0 +1,164 @@
+"""Tests for repro.graphs.generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.biconnectivity import is_biconnected
+from repro.graphs.generators import (
+    FAMILIES,
+    FIG1_COSTS,
+    FIG1_LABELS,
+    barabasi_albert_graph,
+    clique_graph,
+    fig1_graph,
+    grid_graph,
+    integer_costs,
+    isp_like_graph,
+    random_biconnected_graph,
+    ring_graph,
+    uniform_costs,
+    waxman_graph,
+    wheel_graph,
+)
+
+
+class TestFig1:
+    def test_structure(self):
+        graph = fig1_graph()
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 7
+
+    def test_costs(self):
+        graph = fig1_graph()
+        for name, node in FIG1_LABELS.items():
+            assert graph.cost(node) == FIG1_COSTS[name]
+
+    def test_biconnected(self):
+        assert is_biconnected(fig1_graph())
+
+    def test_expected_adjacency(self):
+        graph = fig1_graph()
+        label = FIG1_LABELS
+        assert graph.has_edge(label["X"], label["A"])
+        assert graph.has_edge(label["A"], label["Z"])
+        assert graph.has_edge(label["X"], label["B"])
+        assert graph.has_edge(label["B"], label["D"])
+        assert graph.has_edge(label["D"], label["Z"])
+        assert graph.has_edge(label["Y"], label["D"])
+        assert graph.has_edge(label["Y"], label["B"])
+        assert not graph.has_edge(label["X"], label["Z"])
+
+
+class TestCostSamplers:
+    def test_uniform_in_range(self):
+        import random
+
+        sample = uniform_costs(2.0, 3.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 2.0 <= sample(rng) <= 3.0
+
+    def test_integer_costs_are_integral(self):
+        import random
+
+        sample = integer_costs(0, 4)
+        rng = random.Random(0)
+        values = {sample(rng) for _ in range(100)}
+        assert values <= {0.0, 1.0, 2.0, 3.0, 4.0}
+        assert len(values) > 1
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(GraphError):
+            uniform_costs(5.0, 1.0)
+        with pytest.raises(GraphError):
+            integer_costs(-1, 4)
+
+
+@pytest.mark.parametrize(
+    "family,kwargs",
+    [
+        ("ring", {"n": 7}),
+        ("wheel", {"n": 8}),
+        ("clique", {"n": 5}),
+        ("random", {"n": 12, "edge_probability": 0.2}),
+        ("waxman", {"n": 12}),
+        ("barabasi-albert", {"n": 12}),
+        ("isp-like", {"n": 15}),
+    ],
+)
+class TestFamilies:
+    def test_biconnected(self, family, kwargs):
+        graph = FAMILIES[family](seed=1, **kwargs)
+        assert is_biconnected(graph)
+
+    def test_deterministic_in_seed(self, family, kwargs):
+        first = FAMILIES[family](seed=5, **kwargs)
+        second = FAMILIES[family](seed=5, **kwargs)
+        assert first == second
+
+    def test_seed_changes_something(self, family, kwargs):
+        first = FAMILIES[family](seed=1, **kwargs)
+        second = FAMILIES[family](seed=2, **kwargs)
+        # Either topology or at least one cost differs.
+        assert first != second
+
+
+class TestSpecificShapes:
+    def test_ring_degree_two(self):
+        graph = ring_graph(9)
+        assert all(graph.degree(node) == 2 for node in graph.nodes)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            ring_graph(2)
+
+    def test_wheel_hub_degree(self):
+        graph = wheel_graph(8)
+        hub = 7
+        assert graph.degree(hub) == 7
+
+    def test_clique_edge_count(self):
+        graph = clique_graph(6)
+        assert graph.num_edges == 15
+
+    def test_grid_shape(self):
+        graph = grid_graph(3, 5)
+        assert graph.num_nodes == 15
+        # interior node has degree 4
+        assert graph.degree(7) == 4
+        # corner has degree 2
+        assert graph.degree(0) == 2
+
+    def test_grid_rejects_thin(self):
+        with pytest.raises(GraphError):
+            grid_graph(1, 5)
+
+    def test_random_includes_hamiltonian_cycle(self):
+        graph = random_biconnected_graph(8, edge_probability=0.0, seed=0)
+        assert graph.num_edges == 8  # exactly the cycle
+
+    def test_random_probability_bounds(self):
+        with pytest.raises(GraphError):
+            random_biconnected_graph(8, edge_probability=1.5)
+
+    def test_barabasi_attachment_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, attachment=1)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, attachment=3)
+
+    def test_barabasi_min_degree(self):
+        graph = barabasi_albert_graph(20, attachment=2, seed=1)
+        assert min(graph.degree(node) for node in graph.nodes) >= 2
+
+    def test_isp_like_multihoming(self):
+        graph = isp_like_graph(20, seed=4)
+        assert min(graph.degree(node) for node in graph.nodes) >= 2
+
+    def test_isp_like_core_fraction_validation(self):
+        with pytest.raises(GraphError):
+            isp_like_graph(20, core_fraction=0.0)
+
+    def test_waxman_minimum_size(self):
+        with pytest.raises(GraphError):
+            waxman_graph(2)

@@ -1,0 +1,54 @@
+"""Tests for repro.graphs.io."""
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import fig1_graph, isp_like_graph
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, fig1):
+        assert graph_from_dict(graph_to_dict(fig1)) == fig1
+
+    def test_json_round_trip(self, fig1):
+        assert graph_from_json(graph_to_json(fig1)) == fig1
+
+    def test_round_trip_preserves_costs(self):
+        graph = isp_like_graph(12, seed=3)
+        restored = graph_from_json(graph_to_json(graph))
+        for node in graph.nodes:
+            assert restored.cost(node) == graph.cost(node)
+
+    def test_json_is_valid_and_sorted(self, fig1):
+        payload = json.loads(graph_to_json(fig1))
+        assert payload["version"] == 1
+        ids = [entry["id"] for entry in payload["nodes"]]
+        assert ids == sorted(ids)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GraphError, match="invalid JSON"):
+            graph_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(GraphError, match="object"):
+            graph_from_json("[1, 2]")
+
+    def test_missing_keys(self):
+        with pytest.raises(GraphError, match="malformed"):
+            graph_from_dict({"nodes": [{"id": 0}]})
+
+    def test_unsupported_version(self, fig1):
+        payload = graph_to_dict(fig1)
+        payload["version"] = 99
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict(payload)

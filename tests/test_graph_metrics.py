@@ -1,0 +1,81 @@
+"""Tests for repro.graphs.metrics (the d and d' of Theorem 2)."""
+
+import pytest
+
+from repro.exceptions import DisconnectedGraphError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import clique_graph, fig1_graph, ring_graph
+from repro.graphs.metrics import (
+    avoiding_hop_diameter,
+    hop_diameter,
+    lcp_hop_diameter,
+    topology_summary,
+)
+
+
+class TestHopDiameter:
+    def test_triangle(self, triangle):
+        assert hop_diameter(triangle) == 1
+
+    def test_ring(self):
+        assert hop_diameter(ring_graph(8)) == 4
+
+    def test_clique(self):
+        assert hop_diameter(clique_graph(5)) == 1
+
+    def test_disconnected_raises(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0), (2, 1.0)], edges=[(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            hop_diameter(graph)
+
+
+class TestLcpHopDiameter:
+    def test_fig1(self, fig1):
+        # the longest selected LCP in Fig. 1 is 3 hops (e.g. X-B-D-Z)
+        assert lcp_hop_diameter(fig1) == 3
+
+    def test_uniform_ring(self):
+        # with equal costs the LCP diameter equals the hop diameter
+        graph = ring_graph(8, cost_sampler=lambda rng: 1.0)
+        assert lcp_hop_diameter(graph) == 4
+
+    def test_cost_can_stretch_d(self):
+        # a cheap long way around can make LCPs longer than shortest-hop
+        graph = ASGraph(
+            nodes=[(0, 0.0), (1, 100.0), (2, 0.0), (3, 0.0), (4, 0.0)],
+            edges=[(0, 1), (1, 2), (0, 4), (4, 3), (3, 2)],
+        )
+        assert hop_diameter(graph) == 2
+        assert lcp_hop_diameter(graph) == 3  # 0-4-3-2 avoids the pricey 1
+
+
+class TestAvoidingHopDiameter:
+    def test_fig1(self, fig1):
+        # the longest lowest-cost k-avoiding path in Fig. 1 is
+        # Y-B-X-A-Z (D-avoiding), 4 hops
+        assert avoiding_hop_diameter(fig1) == 4
+
+    def test_ring_worst_case(self):
+        # the closest pair with a transit node sits 2 hops apart;
+        # avoiding that transit node forces the n - 2 hop way around
+        graph = ring_graph(7, cost_sampler=lambda rng: 1.0)
+        assert avoiding_hop_diameter(graph) == 5
+
+    def test_clique_small(self):
+        # in a clique the detour is at most 2 hops
+        assert avoiding_hop_diameter(clique_graph(5, cost_sampler=lambda rng: 1.0)) <= 2
+
+
+class TestTopologySummary:
+    def test_fields(self, fig1):
+        summary = topology_summary(fig1, name="fig1")
+        assert summary["name"] == "fig1"
+        assert summary["n"] == 6
+        assert summary["m"] == 7
+        assert summary["d"] == 3
+        assert summary["d_prime"] == 4
+        assert summary["stage_bound"] == 4
+
+    def test_bound_is_max(self, small_random):
+        summary = topology_summary(small_random)
+        assert summary["stage_bound"] == max(summary["d"], summary["d_prime"])

@@ -1,0 +1,93 @@
+"""End-to-end integration tests crossing every package boundary."""
+
+import math
+
+import pytest
+
+from repro.accounting.settlement import run_accounting
+from repro.accounting.tally import PacketTally
+from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+from repro.core.dynamics import run_dynamic_scenario
+from repro.core.price_node import UpdateMode
+from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.graphs.generators import integer_costs, isp_like_graph
+from repro.graphs.io import graph_from_json, graph_to_json
+from repro.mechanism.vcg import compute_price_table, payments
+from repro.mechanism.welfare import node_utility, total_cost, total_payment
+from repro.strategic.game import play_declaration_game
+from repro.strategic.agents import OverstateAgent, UnderstateAgent
+from repro.traffic.generators import gravity_traffic
+
+
+@pytest.fixture(scope="module")
+def isp():
+    return isp_like_graph(18, seed=11, cost_sampler=integer_costs(1, 6))
+
+
+class TestFullPipeline:
+    """Serialize -> route -> price (centralized and distributed) ->
+    account -> settle, all on one Internet-like instance."""
+
+    def test_serialization_round_trip_preserves_mechanism(self, isp):
+        restored = graph_from_json(graph_to_json(isp))
+        original_table = compute_price_table(isp)
+        restored_table = compute_price_table(restored)
+        for pair, row in original_table.items():
+            assert restored_table.row(*pair) == pytest.approx(row)
+
+    def test_distributed_prices_drive_accounting(self, isp):
+        # run the distributed protocol, use ITS price rows for tallies,
+        # and compare revenue with the centralized payments
+        result = run_distributed_mechanism(isp, mode=UpdateMode.MONOTONE)
+        assert verify_against_centralized(result).ok
+        traffic = gravity_traffic(isp, seed=1, total=100.0)
+
+        tallies = {}
+        for (source, destination), intensity in traffic.items():
+            tally = tallies.setdefault(source, PacketTally(source))
+            row = result.node(source).price_rows.get(destination, {})
+            tally.record_packets(destination, row, intensity)
+
+        centralized = payments(compute_price_table(isp), dict(traffic.items()))
+        revenue = {}
+        for tally in tallies.values():
+            for node, amount in tally.drain().items():
+                revenue[node] = revenue.get(node, 0.0) + amount
+        for node in isp.nodes:
+            assert revenue.get(node, 0.0) == pytest.approx(
+                centralized[node], rel=1e-9, abs=1e-9
+            )
+
+    def test_welfare_books_balance(self, isp):
+        table = compute_price_table(isp)
+        traffic = gravity_traffic(isp, seed=2, total=50.0)
+        traffic_map = dict(traffic.items())
+        paid = total_payment(table, traffic_map)
+        cost = total_cost(table.routes, traffic_map)
+        utilities = sum(
+            node_utility(table, traffic_map, node) for node in isp.nodes
+        )
+        # sum of utilities = total payment - total incurred cost
+        assert utilities == pytest.approx(paid - cost, rel=1e-9, abs=1e-6)
+
+    def test_strategic_agents_on_distributed_instance(self, isp):
+        traffic = gravity_traffic(isp, seed=3, total=30.0)
+        strategies = {
+            isp.nodes[0]: OverstateAgent(factor=1.5),
+            isp.nodes[1]: UnderstateAgent(factor=0.5),
+        }
+        outcome = play_declaration_game(isp, strategies, traffic, seed=4)
+        assert not outcome.any_liar_beat_truth
+
+    def test_dynamic_scenario_end_to_end(self, isp):
+        busiest = max(isp.nodes, key=isp.degree)
+        events = [CostChange(busiest, isp.cost(busiest) * 2.0)]
+        run = run_dynamic_scenario(isp, events)
+        assert run.all_ok
+        assert run.all_within_bound
+
+    def test_accounting_identity(self, isp):
+        table = compute_price_table(isp)
+        traffic = gravity_traffic(isp, seed=5, total=77.0)
+        report, reference = run_accounting(table, traffic)
+        assert report.total() == pytest.approx(sum(reference.values()))

@@ -1,0 +1,91 @@
+"""Tests for repro.strategic.manipulation (the Sect. 7 closing problem)."""
+
+import pytest
+
+from repro.bgp.messages import RouteAdvertisement
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+from repro.strategic.manipulation import (
+    ManipulativePriceNode,
+    audit_advertisement,
+    manipulation_outcome,
+)
+from repro.traffic.generators import uniform_traffic
+
+
+class TestAudit:
+    def test_honest_advert_passes(self):
+        advert = RouteAdvertisement(
+            sender=0, destination=2, path=(0, 1, 2), cost=3.0,
+            node_costs={0: 1.0, 1: 3.0, 2: 5.0},
+        )
+        assert audit_advertisement(advert)
+
+    def test_deflated_advert_fails(self):
+        advert = RouteAdvertisement(
+            sender=0, destination=2, path=(0, 1, 2), cost=2.0,
+            node_costs={0: 1.0, 1: 3.0, 2: 5.0},
+        )
+        assert not audit_advertisement(advert)
+
+    def test_missing_cost_fails(self):
+        advert = RouteAdvertisement(
+            sender=0, destination=2, path=(0, 1, 2), cost=3.0,
+            node_costs={0: 1.0, 2: 5.0},
+        )
+        assert not audit_advertisement(advert)
+
+    def test_self_route_passes(self):
+        advert = RouteAdvertisement(
+            sender=0, destination=0, path=(0,), cost=0.0, node_costs={0: 1.0}
+        )
+        assert audit_advertisement(advert)
+
+
+class TestManipulativeNode:
+    def test_rejects_negative_deflation(self):
+        with pytest.raises(ValueError):
+            ManipulativePriceNode(0, 1.0, deflate_by=-1.0)
+
+    def test_zero_deflation_is_honest(self, fig1):
+        traffic = dict(uniform_traffic(fig1).items())
+        manipulator = max(fig1.nodes, key=fig1.degree)
+        outcome = manipulation_outcome(fig1, manipulator, traffic, deflate_by=0.0)
+        assert outcome.gain == pytest.approx(0.0)
+        assert not outcome.caught  # nothing inconsistent to flag
+
+
+class TestManipulationOutcome:
+    def test_fig1_attack_profits_and_is_caught(self, fig1, labels):
+        traffic = dict(uniform_traffic(fig1).items())
+        outcome = manipulation_outcome(fig1, labels["B"], traffic, deflate_by=1.0)
+        assert outcome.profitable
+        assert outcome.caught
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_attack_never_goes_unaudited(self, seed):
+        graph = random_biconnected_graph(
+            10, 0.25, seed=seed, cost_sampler=integer_costs(1, 5)
+        )
+        traffic = dict(uniform_traffic(graph).items())
+        candidates = [
+            node for node in graph.nodes if graph.degree(node) < graph.num_nodes - 1
+        ]
+        manipulator = max(candidates, key=graph.degree)
+        outcome = manipulation_outcome(graph, manipulator, traffic, deflate_by=1.0)
+        # the simple deflation always leaves an inconsistent advert behind
+        assert outcome.caught
+
+    def test_attack_can_attract_traffic(self):
+        graph = random_biconnected_graph(
+            10, 0.25, seed=1, cost_sampler=integer_costs(1, 5)
+        )
+        traffic = dict(uniform_traffic(graph).items())
+        candidates = [
+            node for node in graph.nodes if graph.degree(node) < graph.num_nodes - 1
+        ]
+        manipulator = max(candidates, key=graph.degree)
+        outcome = manipulation_outcome(graph, manipulator, traffic, deflate_by=2.0)
+        assert (
+            outcome.packets_carried_manipulated
+            >= outcome.packets_carried_honest
+        )

@@ -1,0 +1,77 @@
+"""Tests for repro.mechanism.overpayment (Section 7)."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import fig1_graph, ring_graph
+from repro.mechanism.overpayment import (
+    node_markups,
+    overpayment_ratio,
+    overpayment_stats,
+)
+from repro.mechanism.vcg import compute_price_table
+
+
+class TestOverpaymentRatio:
+    def test_fig1_yz_is_nine(self, fig1, labels):
+        table = compute_price_table(fig1)
+        assert overpayment_ratio(table, labels["Y"], labels["Z"]) == pytest.approx(9.0)
+
+    def test_fig1_xz(self, fig1, labels):
+        table = compute_price_table(fig1)
+        assert overpayment_ratio(table, labels["X"], labels["Z"]) == pytest.approx(7.0 / 3.0)
+
+    def test_direct_link_ratio_one(self, fig1, labels):
+        table = compute_price_table(fig1)
+        assert overpayment_ratio(table, labels["A"], labels["Z"]) == 1.0
+
+    def test_always_at_least_one(self, small_random):
+        table = compute_price_table(small_random)
+        for source, destination in table.routes.paths:
+            ratio = overpayment_ratio(table, source, destination)
+            assert ratio >= 1.0 - 1e-9
+
+
+class TestNodeMarkups:
+    def test_fig1_d_markup(self, fig1, labels):
+        table = compute_price_table(fig1)
+        markups = node_markups(table, labels["Y"], labels["Z"])
+        assert markups[labels["D"]] == pytest.approx(9.0)
+
+    def test_empty_for_direct_link(self, fig1, labels):
+        table = compute_price_table(fig1)
+        assert node_markups(table, labels["A"], labels["Z"]) == {}
+
+
+class TestOverpaymentStats:
+    def test_fig1_max_pair(self, fig1, labels):
+        table = compute_price_table(fig1)
+        stats = overpayment_stats(table)
+        assert stats.max_ratio == pytest.approx(9.0)
+        assert stats.max_pair in ((labels["Y"], labels["Z"]), (labels["Z"], labels["Y"]))
+
+    def test_aggregate_ratio(self, fig1):
+        table = compute_price_table(fig1)
+        stats = overpayment_stats(table)
+        assert stats.aggregate_ratio >= 1.0
+        assert stats.total_payment >= stats.total_cost
+
+    def test_traffic_weighting(self, fig1, labels):
+        table = compute_price_table(fig1)
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        stats = overpayment_stats(table, traffic=traffic)
+        assert stats.total_cost == 1.0
+        assert stats.total_payment == 9.0
+        assert stats.pairs == 1
+
+    def test_ring_overcharges_more_than_fig1(self):
+        # sparse rings have brutal detours, hence big ratios
+        ring = ring_graph(8, seed=1, cost_sampler=lambda rng: 1.0)
+        ring_stats = overpayment_stats(compute_price_table(ring))
+        fig_stats = overpayment_stats(compute_price_table(fig1_graph()))
+        assert ring_stats.mean_ratio > fig_stats.mean_ratio
+
+    def test_median_between_min_and_max(self, small_random):
+        stats = overpayment_stats(compute_price_table(small_random))
+        assert 1.0 - 1e-9 <= stats.median_ratio <= stats.max_ratio + 1e-9

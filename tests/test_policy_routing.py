@@ -1,0 +1,168 @@
+"""Tests for repro.policy (Gao-Rexford valley-free routing)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import integer_costs, isp_like_graph
+from repro.policy.engine import run_policy_routing
+from repro.policy.relationships import (
+    PREFERENCE_RANK,
+    Relationship,
+    RelationshipMap,
+    annotate_isp_hierarchy,
+)
+from repro.policy.valley_free import is_valley_free, transit_allowed
+from repro.routing.allpairs import all_pairs_lcp
+
+
+@pytest.fixture
+def small_hierarchy():
+    """Two peered providers (0, 1), two customers each (2, 3 under 0;
+    4, 5 under 1), plus a multihomed stub 6 under 2 and 4."""
+    graph = ASGraph(
+        nodes=[(i, 1.0) for i in range(7)],
+        edges=[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 6), (4, 6), (2, 3), (4, 5)],
+    )
+    labels = {
+        (0, 1): Relationship.PEER,
+        (0, 2): Relationship.CUSTOMER,
+        (0, 3): Relationship.CUSTOMER,
+        (1, 4): Relationship.CUSTOMER,
+        (1, 5): Relationship.CUSTOMER,
+        (2, 6): Relationship.CUSTOMER,
+        (4, 6): Relationship.CUSTOMER,
+        (2, 3): Relationship.PEER,
+        (4, 5): Relationship.PEER,
+    }
+    return graph, RelationshipMap(graph, labels)
+
+
+class TestRelationshipMap:
+    def test_inverse_consistency(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        assert relationships.relationship(0, 2) is Relationship.CUSTOMER
+        assert relationships.relationship(2, 0) is Relationship.PROVIDER
+        assert relationships.relationship(0, 1) is Relationship.PEER
+        assert relationships.relationship(1, 0) is Relationship.PEER
+
+    def test_role_queries(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        assert relationships.customers(0) == (2, 3)
+        assert relationships.providers(6) == (2, 4)
+        assert relationships.peers(0) == (1,)
+
+    def test_unlabeled_link_rejected(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0), (2, 1.0)],
+                        edges=[(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(GraphError, match="unlabeled"):
+            RelationshipMap(graph, {(0, 1): Relationship.PEER})
+
+    def test_inconsistent_labels_rejected(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0)], edges=[(0, 1)])
+        with pytest.raises(GraphError, match="inconsistent"):
+            RelationshipMap(
+                graph,
+                {(0, 1): Relationship.CUSTOMER, (1, 0): Relationship.PEER},
+            )
+
+    def test_hierarchy_acyclicity(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        assert relationships.is_provider_customer_acyclic()
+
+    def test_cycle_detected(self):
+        graph = ASGraph(nodes=[(0, 1.0), (1, 1.0), (2, 1.0)],
+                        edges=[(0, 1), (1, 2), (0, 2)])
+        cyclic = RelationshipMap(
+            graph,
+            {
+                (0, 1): Relationship.CUSTOMER,  # 1 is 0's customer
+                (1, 2): Relationship.CUSTOMER,  # 2 is 1's customer
+                (2, 0): Relationship.CUSTOMER,  # 0 is 2's customer (!)
+            },
+        )
+        assert not cyclic.is_provider_customer_acyclic()
+
+    def test_preference_ranks(self):
+        assert PREFERENCE_RANK[Relationship.CUSTOMER] < PREFERENCE_RANK[Relationship.PEER]
+        assert PREFERENCE_RANK[Relationship.PEER] < PREFERENCE_RANK[Relationship.PROVIDER]
+
+    def test_annotate_isp_hierarchy(self):
+        graph = isp_like_graph(15, seed=1)
+        relationships = annotate_isp_hierarchy(graph, core_size=3)
+        assert relationships.is_provider_customer_acyclic()
+        # core links are peerings
+        for u, v in graph.edges:
+            if u < 3 and v < 3:
+                assert relationships.relationship(u, v) is Relationship.PEER
+
+
+class TestValleyFree:
+    def test_up_peer_down_is_valid(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        # 6 -> 2 -> 0 -> 1 -> 4: up, up, peer, down
+        assert is_valley_free((6, 2, 0, 1, 4), relationships)
+
+    def test_two_peer_links_invalid(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        # 3 -> 2 -> ... peer then up is a valley
+        assert not is_valley_free((3, 2, 0, 1), relationships)
+        # peer (2,3) then peer... construct: 6->2->3 uses up then peer: ok
+        assert is_valley_free((6, 2, 3), relationships)
+
+    def test_down_then_up_invalid(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        # 0 -> 2 -> 6 -> 4: down, down, up -- a valley through the stub
+        assert not is_valley_free((0, 2, 6, 4), relationships)
+
+    def test_transit_allowed_footnote(self, small_hierarchy):
+        _graph, relationships = small_hierarchy
+        # 2 carries between customer 6 and provider 0: allowed
+        assert transit_allowed(2, 6, 0, relationships)
+        # 0 carries between peer 1 and customer 2: allowed
+        assert transit_allowed(0, 1, 2, relationships)
+        # 6 carrying between its two providers: forbidden (the footnote)
+        assert not transit_allowed(6, 2, 4, relationships)
+
+
+class TestPolicyEngine:
+    def test_converges_and_stays_valley_free(self, small_hierarchy):
+        graph, relationships = small_hierarchy
+        result = run_policy_routing(graph, relationships)
+        routes = result.routes_by_pair()
+        for path in routes.values():
+            assert is_valley_free(path, relationships)
+
+    def test_stub_never_transits_providers(self, small_hierarchy):
+        graph, relationships = small_hierarchy
+        result = run_policy_routing(graph, relationships)
+        for (source, destination), path in result.routes_by_pair().items():
+            assert 6 not in path[1:-1] or not (
+                set(path) >= {2, 6, 4}
+            ), f"stub 6 providing transit on {path}"
+
+    def test_policy_cost_never_beats_lcp(self):
+        graph = isp_like_graph(18, seed=4, cost_sampler=integer_costs(1, 5))
+        relationships = annotate_isp_hierarchy(graph, core_size=4)
+        result = run_policy_routing(graph, relationships)
+        lcp = all_pairs_lcp(graph)
+        for (source, destination), path in result.routes_by_pair().items():
+            policy_cost = graph.path_cost(path) if len(path) >= 2 else 0.0
+            assert policy_cost >= lcp.cost(source, destination) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_isp_family_converges(self, seed):
+        graph = isp_like_graph(16, seed=seed, cost_sampler=integer_costs(1, 6))
+        relationships = annotate_isp_hierarchy(graph, core_size=3)
+        result = run_policy_routing(graph, relationships)
+        routes = result.routes_by_pair()
+        assert routes  # something converged
+        for path in routes.values():
+            assert is_valley_free(path, relationships)
+
+    def test_customer_route_preferred_over_peer(self, small_hierarchy):
+        graph, relationships = small_hierarchy
+        result = run_policy_routing(graph, relationships)
+        # 0 reaches 6 via its customer 2 (not via peer 1 -> 4 -> 6)
+        path = result.path(0, 6)
+        assert path == (0, 2, 6)

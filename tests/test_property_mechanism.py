@@ -1,0 +1,80 @@
+"""Property-based tests for the VCG mechanism (Theorem 1 invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.strategyproof import deviation_outcome
+from repro.mechanism.uniqueness import groves_identity_gap
+from repro.mechanism.vcg import compute_price_table, payments
+
+
+@st.composite
+def small_biconnected_graphs(draw, min_nodes=4, max_nodes=8):
+    n = draw(st.integers(min_nodes, max_nodes))
+    costs = draw(
+        st.lists(st.integers(0, 8).map(float), min_size=n, max_size=n)
+    )
+    chord_pool = [(i, j) for i in range(n) for j in range(i + 2, n)
+                  if not (i == 0 and j == n - 1)]
+    chords = draw(st.lists(st.sampled_from(chord_pool), unique=True, max_size=6)) if chord_pool else []
+    edges = [(i, (i + 1) % n) for i in range(n)] + list(chords)
+    return ASGraph(nodes=list(enumerate(costs)), edges=edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_biconnected_graphs())
+def test_prices_dominate_costs_and_vanish_off_path(graph):
+    table = compute_price_table(graph)
+    routes = table.routes
+    for (source, destination), row in table.items():
+        path = routes.path(source, destination)
+        transit = set(path[1:-1])
+        assert set(row) == transit
+        for k, price in row.items():
+            assert price >= graph.cost(k) - 1e-9
+        for k in graph.nodes:
+            if k not in transit:
+                assert table.price(k, source, destination) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_biconnected_graphs())
+def test_groves_identity(graph):
+    traffic = {
+        (i, j): 1.0 for i in graph.nodes for j in graph.nodes if i != j
+    }
+    table = compute_price_table(graph)
+    for node in graph.nodes:
+        gap = groves_identity_gap(graph, node, traffic, table=table)
+        assert abs(gap) < 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    small_biconnected_graphs(),
+    st.integers(0, 7),
+    st.one_of(st.integers(0, 16).map(lambda v: v / 2.0)),
+)
+def test_no_single_lie_profits(graph, node_index, lie):
+    node = graph.nodes[node_index % graph.num_nodes]
+    if lie == graph.cost(node):
+        lie = lie + 1.0
+    traffic = {
+        (i, j): 1.0 for i in graph.nodes for j in graph.nodes if i != j
+    }
+    outcome = deviation_outcome(graph, node, lie, traffic)
+    assert outcome.gain <= 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_biconnected_graphs())
+def test_payments_linear_in_traffic(graph):
+    table = compute_price_table(graph)
+    nodes = graph.nodes
+    traffic = {(nodes[0], nodes[-1]): 2.0, (nodes[1], nodes[-1]): 3.0}
+    doubled = {pair: 2 * value for pair, value in traffic.items()}
+    base = payments(table, traffic)
+    scaled = payments(table, doubled)
+    for node in nodes:
+        assert scaled[node] == pytest.approx(2 * base[node])

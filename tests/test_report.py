@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.report and the analysis sweeps."""
+
+import pytest
+
+from repro.analysis.convergence_stats import convergence_row, convergence_sweep
+from repro.analysis.frugality import frugality_row, frugality_sweep
+from repro.analysis.report import Table
+from repro.graphs.generators import fig1_graph
+from repro.traffic.generators import uniform_traffic
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table(title="T", headers=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", True)
+        table.add_note("a note")
+        text = table.render()
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+        assert "yes" in text
+        assert "note: a note" in text
+
+    def test_row_width_validation(self):
+        table = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table(title="T", headers=["v"])
+        table.add_row(3.0)
+        table.add_row(float("inf"))
+        table.add_row(float("nan"))
+        table.add_row(0.333333333)
+        text = table.render()
+        assert "3" in text
+        assert "inf" in text
+        assert "nan" in text
+        assert "0.3333" in text
+
+    def test_markdown(self):
+        table = Table(title="T", headers=["a"])
+        table.add_row(1)
+        md = table.to_markdown()
+        assert md.startswith("### T")
+        assert "| a |" in md
+        assert "| 1 |" in md
+
+    def test_str_is_render(self):
+        table = Table(title="T", headers=["a"])
+        assert str(table) == table.render()
+
+
+class TestSweeps:
+    def test_convergence_row_fields(self):
+        graph = fig1_graph()
+        row = convergence_row("fig1", graph)
+        assert row.family == "fig1"
+        assert row.n == 6
+        assert row.d == 3
+        assert row.d_prime == 4
+        assert row.bound == 4
+        assert row.within_bound
+        assert row.prices_correct
+        assert row.stages_routes_only <= row.d
+
+    def test_convergence_sweep(self):
+        rows = convergence_sweep([("fig1", fig1_graph())])
+        assert len(rows) == 1
+
+    def test_frugality_row(self):
+        graph = fig1_graph()
+        row = frugality_row("fig1", graph)
+        assert row.max_ratio == pytest.approx(9.0)
+        assert row.mean_ratio >= 1.0
+
+    def test_frugality_row_with_traffic(self):
+        graph = fig1_graph()
+        row = frugality_row("fig1", graph, traffic=uniform_traffic(graph))
+        assert row.aggregate_ratio >= 1.0
+
+    def test_frugality_sweep(self):
+        rows = frugality_sweep([("fig1", fig1_graph())])
+        assert len(rows) == 1

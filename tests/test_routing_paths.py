@@ -1,0 +1,86 @@
+"""Tests for repro.routing.paths and tiebreak."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.routing.paths import transit_cost, transit_nodes, validate_path
+from repro.routing.tiebreak import better, route_key
+
+
+class TestTransitCost:
+    def test_endpoints_free(self):
+        costs = {0: 1.0, 1: 2.0}
+        assert transit_cost(costs.__getitem__, (0, 1)) == 0.0
+
+    def test_sums_intermediates(self):
+        costs = {0: 1.0, 1: 2.0, 2: 4.0, 3: 8.0}
+        assert transit_cost(costs.__getitem__, (0, 1, 2, 3)) == 6.0
+
+    def test_accumulation_is_destination_first(self):
+        # Pick costs whose float sums depend on association order.
+        costs = {0: 0.0, 1: 0.1, 2: 0.2, 3: 0.3, 4: 0.0}
+        path = (4, 3, 2, 1, 0)
+        expected = ((0.1 + 0.2) + 0.3)  # c_1 then c_2 then c_3
+        assert transit_cost(costs.__getitem__, path) == expected
+
+    def test_rejects_single_node(self):
+        with pytest.raises(GraphError):
+            transit_cost(lambda n: 1.0, (0,))
+
+
+class TestValidatePath:
+    def test_happy_path(self):
+        assert validate_path([0, 1, 2], 0, 2) == (0, 1, 2)
+
+    def test_wrong_source(self):
+        with pytest.raises(GraphError, match="starts"):
+            validate_path([1, 2], 0, 2)
+
+    def test_wrong_destination(self):
+        with pytest.raises(GraphError, match="ends"):
+            validate_path([0, 1], 0, 2)
+
+    def test_revisit(self):
+        with pytest.raises(GraphError, match="revisits"):
+            validate_path([0, 1, 0, 2], 0, 2)
+
+
+class TestTransitNodes:
+    def test_extracts_interior(self):
+        assert transit_nodes((0, 1, 2, 3)) == (1, 2)
+
+    def test_direct_link_has_none(self):
+        assert transit_nodes((0, 1)) == ()
+
+
+class TestRouteKey:
+    def test_orders_by_cost_first(self):
+        cheap = route_key(1.0, (0, 9, 8, 7, 1))
+        pricey = route_key(2.0, (0, 1))
+        assert cheap < pricey
+
+    def test_ties_broken_by_hops(self):
+        short = route_key(3.0, (0, 5, 1))
+        long = route_key(3.0, (0, 2, 3, 1))
+        assert short < long
+
+    def test_ties_broken_lexicographically(self):
+        low = route_key(3.0, (0, 2, 1))
+        high = route_key(3.0, (0, 5, 1))
+        assert low < high
+
+    def test_prepending_preserves_order(self):
+        # suffix consistency depends on this
+        a = route_key(3.0, (2, 1))
+        b = route_key(3.0, (5, 1))
+        assert (a < b) == (route_key(4.0, (9,) + a[2]) < route_key(4.0, (9,) + b[2]))
+
+    def test_extension_strictly_increases(self):
+        # even with a zero-cost hop, the key must grow (hops component)
+        base = route_key(0.0, (1, 0))
+        extended = route_key(0.0, (2, 1, 0))
+        assert base < extended
+
+    def test_better_helper(self):
+        assert better(route_key(1.0, (0, 1)), route_key(2.0, (0, 1)))
+        assert not better(route_key(2.0, (0, 1)), route_key(1.0, (0, 1)))

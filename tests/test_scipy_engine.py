@@ -1,0 +1,94 @@
+"""Tests for repro.routing.scipy_engine (vectorized cost engine)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedGraphError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import (
+    fig1_graph,
+    integer_costs,
+    isp_like_graph,
+    random_biconnected_graph,
+)
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.scipy_engine import all_pairs_costs, avoiding_costs_matrix
+from repro.routing.avoiding import avoiding_tree
+
+
+class TestAllPairsCosts:
+    def test_matches_reference_on_fig1(self, fig1):
+        matrix, index = all_pairs_costs(fig1)
+        routes = all_pairs_lcp(fig1)
+        for source in fig1.nodes:
+            for destination in fig1.nodes:
+                if source == destination:
+                    continue
+                assert matrix[index[source], index[destination]] == pytest.approx(
+                    routes.cost(source, destination)
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference_on_random(self, seed):
+        graph = random_biconnected_graph(
+            12, 0.3, seed=seed, cost_sampler=integer_costs(0, 6)
+        )
+        matrix, index = all_pairs_costs(graph)
+        routes = all_pairs_lcp(graph)
+        for (source, destination), _path in routes.paths.items():
+            assert matrix[index[source], index[destination]] == pytest.approx(
+                routes.cost(source, destination)
+            )
+
+    def test_diagonal_zero(self, fig1):
+        matrix, _index = all_pairs_costs(fig1)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_zero_cost_edges_survive(self):
+        # all-zero node costs: every entry must be 0, not "unreachable"
+        graph = ASGraph(
+            nodes=[(0, 0.0), (1, 0.0), (2, 0.0)],
+            edges=[(0, 1), (1, 2), (0, 2)],
+        )
+        matrix, _index = all_pairs_costs(graph)
+        assert np.all(matrix == 0.0)
+
+    def test_disconnected_raises(self):
+        graph = ASGraph(
+            nodes=[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            edges=[(0, 1), (2, 3)],
+        )
+        with pytest.raises(DisconnectedGraphError):
+            all_pairs_costs(graph)
+
+
+class TestAvoidingCostsMatrix:
+    def test_matches_reference(self, fig1, labels):
+        D = labels["D"]
+        matrix, index = avoiding_costs_matrix(fig1, D)
+        tree = avoiding_tree(fig1, labels["Z"], D)
+        for source in tree.sources():
+            assert matrix[index[source], index[labels["Z"]]] == pytest.approx(
+                tree.cost(source)
+            )
+
+    def test_removed_node_is_infinite(self, fig1, labels):
+        D = labels["D"]
+        matrix, index = avoiding_costs_matrix(fig1, D)
+        others = [n for n in fig1.nodes if n != D]
+        for other in others:
+            assert np.isinf(matrix[index[D], index[other]])
+            assert np.isinf(matrix[index[other], index[D]])
+
+    def test_isp_like_consistency(self):
+        graph = isp_like_graph(15, seed=2, cost_sampler=integer_costs(1, 5))
+        k = graph.nodes[3]
+        matrix, index = avoiding_costs_matrix(graph, k)
+        for destination in graph.nodes:
+            if destination == k:
+                continue
+            tree = avoiding_tree(graph, destination, k)
+            for source in tree.sources():
+                assert matrix[index[source], index[destination]] == pytest.approx(
+                    tree.cost(source)
+                )

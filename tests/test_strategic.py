@@ -1,0 +1,111 @@
+"""Tests for repro.strategic (agents, game, best response)."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
+from repro.strategic.agents import (
+    OverstateAgent,
+    RandomLiar,
+    TruthfulAgent,
+    UnderstateAgent,
+)
+from repro.strategic.bestresponse import best_response
+from repro.strategic.game import play_declaration_game
+from repro.traffic.generators import uniform_traffic
+
+
+class TestAgents:
+    def test_truthful(self):
+        assert TruthfulAgent().declare(3.0, random.Random(0)) == 3.0
+
+    def test_overstate(self):
+        agent = OverstateAgent(factor=2.0, offset=1.0)
+        assert agent.declare(3.0, random.Random(0)) == 7.0
+
+    def test_overstate_validation(self):
+        with pytest.raises(ValueError):
+            OverstateAgent(factor=0.5)
+
+    def test_understate(self):
+        assert UnderstateAgent(factor=0.5).declare(4.0, random.Random(0)) == 2.0
+
+    def test_understate_validation(self):
+        with pytest.raises(ValueError):
+            UnderstateAgent(factor=1.5)
+
+    def test_random_liar_in_range(self):
+        agent = RandomLiar(spread=2.0)
+        rng = random.Random(1)
+        for _ in range(20):
+            lie = agent.declare(3.0, rng)
+            assert 0.0 <= lie <= 7.0
+
+    def test_random_liar_validation(self):
+        with pytest.raises(ValueError):
+            RandomLiar(spread=0.0)
+
+
+class TestDeclarationGame:
+    def test_all_truthful_no_regret(self, fig1):
+        traffic = uniform_traffic(fig1)
+        outcome = play_declaration_game(fig1, {}, traffic)
+        for node in fig1.nodes:
+            assert outcome.regret(node) == 0.0
+        assert not outcome.any_liar_beat_truth
+
+    def test_liars_never_beat_truth(self, fig1, labels):
+        traffic = uniform_traffic(fig1)
+        strategies = {
+            labels["D"]: OverstateAgent(factor=2.0),
+            labels["B"]: UnderstateAgent(factor=0.5),
+            labels["A"]: RandomLiar(),
+        }
+        outcome = play_declaration_game(fig1, strategies, traffic, seed=3)
+        assert not outcome.any_liar_beat_truth
+        # regret is gain from switching to truth: must be >= 0
+        for node in strategies:
+            assert outcome.regret(node) >= -1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graph_games(self, seed):
+        graph = random_biconnected_graph(
+            8, 0.3, seed=seed, cost_sampler=integer_costs(1, 5)
+        )
+        traffic = uniform_traffic(graph)
+        strategies = {
+            node: RandomLiar() for node in list(graph.nodes)[::2]
+        }
+        outcome = play_declaration_game(graph, strategies, traffic, seed=seed)
+        assert not outcome.any_liar_beat_truth
+
+    def test_declared_costs_recorded(self, fig1, labels):
+        traffic = uniform_traffic(fig1)
+        strategies = {labels["D"]: OverstateAgent(factor=3.0)}
+        outcome = play_declaration_game(fig1, strategies, traffic)
+        assert outcome.declared[labels["D"]] == 3.0  # true cost 1 * 3
+
+
+class TestBestResponse:
+    def test_truth_is_best_fig1(self, fig1):
+        traffic = uniform_traffic(fig1)
+        for node in fig1.nodes:
+            response = best_response(fig1, node, traffic, grid_points=8,
+                                     random_probes=4, seed=node)
+            assert response.truth_is_best, (node, response)
+
+    def test_truth_is_best_against_lying_opponents(self, fig1, labels):
+        traffic = uniform_traffic(fig1)
+        declared_others = {labels["B"]: 10.0, labels["A"]: 0.5}
+        response = best_response(
+            fig1, labels["D"], traffic, declared_others=declared_others,
+            grid_points=8, random_probes=4,
+        )
+        assert response.truth_is_best
+
+    def test_probe_count(self, fig1, labels):
+        traffic = uniform_traffic(fig1)
+        response = best_response(fig1, labels["D"], traffic,
+                                 grid_points=5, random_probes=3)
+        assert response.probes == 1 + 5 + 3

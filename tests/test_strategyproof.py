@@ -1,0 +1,86 @@
+"""Tests for repro.mechanism.strategyproof (Theorem 1, empirically)."""
+
+import pytest
+
+from repro.graphs.generators import integer_costs, random_biconnected_graph
+from repro.mechanism.strategyproof import (
+    deviation_outcome,
+    lie_grid,
+    most_profitable,
+    sweep_deviations,
+    utility_under_declaration,
+)
+from repro.mechanism.vcg import compute_price_table
+from repro.mechanism.welfare import node_utility
+
+
+class TestLieGrid:
+    def test_excludes_truth(self):
+        assert 2.0 not in lie_grid(2.0)
+
+    def test_nonnegative(self):
+        assert all(lie >= 0.0 for lie in lie_grid(3.0))
+
+    def test_zero_true_cost_still_gets_lies(self):
+        lies = lie_grid(0.0)
+        assert lies
+        assert all(lie > 0.0 for lie in lies)
+
+
+class TestDeviationOutcome:
+    def test_gain_never_positive_fig1(self, fig1):
+        traffic = {(i, j): 1.0 for i in fig1.nodes for j in fig1.nodes if i != j}
+        table = compute_price_table(fig1)
+        for node in fig1.nodes:
+            for lie in lie_grid(fig1.cost(node)):
+                outcome = deviation_outcome(
+                    fig1, node, lie, traffic, truthful_table=table
+                )
+                assert not outcome.profitable, (node, lie, outcome.gain)
+
+    def test_overstating_can_lose_traffic(self, fig1, labels):
+        # D overstating pushes X->Z traffic to the A route; D then earns 0
+        # on that pair, strictly less than its truthful utility.
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        outcome = deviation_outcome(fig1, labels["D"], 100.0, traffic)
+        assert outcome.deviant_utility == 0.0
+        # truthfully D is paid 3 and incurs 1 -> utility 2
+        assert outcome.truthful_utility == 2.0
+        assert outcome.gain == -2.0
+
+    def test_understating_attracts_unprofitable_traffic(self, fig1, labels):
+        # A understating to 0 attracts the X->Z packet but gets paid only
+        # the VCG price; utility cannot exceed the truthful case.
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        outcome = deviation_outcome(fig1, labels["A"], 0.0, traffic)
+        assert outcome.gain <= 1e-9
+
+    def test_utility_under_declaration_truth_matches_direct(self, fig1, labels):
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        table = compute_price_table(fig1)
+        direct = node_utility(table, traffic, labels["D"])
+        via_declaration = utility_under_declaration(
+            fig1, labels["D"], fig1.cost(labels["D"]), traffic
+        )
+        assert via_declaration == pytest.approx(direct)
+
+
+class TestSweep:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_profitable_lie_on_random_graphs(self, seed):
+        graph = random_biconnected_graph(
+            8, 0.3, seed=seed, cost_sampler=integer_costs(0, 5)
+        )
+        traffic = {(i, j): 1.0 for i in graph.nodes for j in graph.nodes if i != j}
+        outcomes = sweep_deviations(graph, traffic, extra_random_lies=2, seed=seed)
+        worst = most_profitable(outcomes)
+        assert worst is not None
+        assert worst.gain <= 1e-9
+
+    def test_most_profitable_of_empty(self):
+        assert most_profitable([]) is None
+
+    def test_sweep_subset_of_nodes(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        outcomes = sweep_deviations(fig1, traffic, nodes=[labels["D"]])
+        assert all(outcome.node == labels["D"] for outcome in outcomes)

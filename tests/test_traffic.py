@@ -1,0 +1,110 @@
+"""Tests for repro.traffic."""
+
+import pytest
+
+from repro.exceptions import TrafficMatrixError
+from repro.graphs.generators import fig1_graph
+from repro.traffic.generators import (
+    gravity_traffic,
+    hotspot_traffic,
+    single_packet,
+    sparse_traffic,
+    uniform_traffic,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestTrafficMatrix:
+    def test_lookup_and_default(self):
+        matrix = TrafficMatrix({(0, 1): 2.0})
+        assert matrix[(0, 1)] == 2.0
+        assert matrix[(1, 0)] == 0.0
+
+    def test_zero_entries_dropped(self):
+        matrix = TrafficMatrix({(0, 1): 0.0, (1, 2): 1.0})
+        assert len(matrix) == 1
+        assert (0, 1) not in matrix
+
+    def test_rejects_self_traffic(self):
+        with pytest.raises(TrafficMatrixError, match="self-traffic"):
+            TrafficMatrix({(1, 1): 2.0})
+
+    def test_rejects_negative(self):
+        with pytest.raises(TrafficMatrixError, match="non-negative"):
+            TrafficMatrix({(0, 1): -1.0})
+
+    def test_rejects_nan(self):
+        with pytest.raises(TrafficMatrixError):
+            TrafficMatrix({(0, 1): float("nan")})
+
+    def test_total_packets(self):
+        matrix = TrafficMatrix({(0, 1): 2.0, (1, 2): 3.0})
+        assert matrix.total_packets == 5.0
+
+    def test_scaled(self):
+        matrix = TrafficMatrix({(0, 1): 2.0}).scaled(3.0)
+        assert matrix[(0, 1)] == 6.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(TrafficMatrixError):
+            TrafficMatrix({(0, 1): 2.0}).scaled(-1.0)
+
+    def test_restricted_to_validates_endpoints(self, fig1):
+        matrix = TrafficMatrix({(0, 99): 1.0})
+        with pytest.raises(TrafficMatrixError, match="outside"):
+            matrix.restricted_to(fig1)
+
+    def test_restricted_to_fluent(self, fig1):
+        matrix = TrafficMatrix({(0, 5): 1.0})
+        assert matrix.restricted_to(fig1) is matrix
+
+    def test_pairs_sorted(self):
+        matrix = TrafficMatrix({(2, 0): 1.0, (0, 1): 1.0})
+        assert matrix.pairs() == ((0, 1), (2, 0))
+
+
+class TestGenerators:
+    def test_single_packet(self):
+        matrix = single_packet(0, 5)
+        assert matrix[(0, 5)] == 1.0
+        assert matrix.total_packets == 1.0
+
+    def test_uniform_covers_all_pairs(self, fig1):
+        matrix = uniform_traffic(fig1, intensity=2.0)
+        n = fig1.num_nodes
+        assert len(matrix) == n * (n - 1)
+        assert all(value == 2.0 for value in matrix.values())
+
+    def test_uniform_rejects_negative(self, fig1):
+        with pytest.raises(TrafficMatrixError):
+            uniform_traffic(fig1, intensity=-1.0)
+
+    def test_gravity_normalizes(self, fig1):
+        matrix = gravity_traffic(fig1, seed=1, total=500.0)
+        assert matrix.total_packets == pytest.approx(500.0)
+
+    def test_gravity_deterministic(self, fig1):
+        first = gravity_traffic(fig1, seed=2)
+        second = gravity_traffic(fig1, seed=2)
+        assert dict(first.items()) == dict(second.items())
+
+    def test_hotspot_heavy_destinations(self, fig1):
+        matrix = hotspot_traffic(fig1, hotspots=1, seed=0,
+                                 hot_intensity=50.0, background=1.0)
+        values = set(matrix.values())
+        assert values == {1.0, 50.0}
+
+    def test_hotspot_bounds(self, fig1):
+        with pytest.raises(TrafficMatrixError):
+            hotspot_traffic(fig1, hotspots=99)
+
+    def test_sparse_density_zero_is_empty(self, fig1):
+        assert len(sparse_traffic(fig1, density=0.0)) == 0
+
+    def test_sparse_density_one_is_full(self, fig1):
+        n = fig1.num_nodes
+        assert len(sparse_traffic(fig1, density=1.0)) == n * (n - 1)
+
+    def test_sparse_density_validated(self, fig1):
+        with pytest.raises(TrafficMatrixError):
+            sparse_traffic(fig1, density=2.0)

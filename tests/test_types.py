@@ -1,0 +1,49 @@
+"""Tests for repro.types."""
+
+import math
+
+import pytest
+
+from repro.types import INFINITY, is_finite_cost, validate_cost
+
+
+class TestValidateCost:
+    def test_accepts_zero(self):
+        assert validate_cost(0) == 0.0
+
+    def test_accepts_positive_float(self):
+        assert validate_cost(3.25) == 3.25
+
+    def test_accepts_integer_and_returns_float(self):
+        value = validate_cost(7)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_cost(-0.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            validate_cost(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_cost(INFINITY)
+
+    def test_error_message_names_the_subject(self):
+        with pytest.raises(ValueError, match="cost of node 3"):
+            validate_cost(-1, what="cost of node 3")
+
+
+class TestIsFiniteCost:
+    def test_finite_values(self):
+        assert is_finite_cost(0.0)
+        assert is_finite_cost(12.5)
+
+    def test_infinity_is_not_finite(self):
+        assert not is_finite_cost(INFINITY)
+        assert not is_finite_cost(-INFINITY)
+
+    def test_nan_is_not_finite(self):
+        assert not is_finite_cost(float("nan"))

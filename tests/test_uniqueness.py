@@ -1,0 +1,79 @@
+"""Tests for repro.mechanism.uniqueness (Green-Laffont probes)."""
+
+import pytest
+
+from repro.graphs.generators import integer_costs, random_biconnected_graph
+from repro.mechanism.uniqueness import (
+    groves_identity_gap,
+    perturbed_mechanism_witness,
+    removed_total_cost,
+)
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.avoiding import avoiding_cost
+
+
+class TestRemovedTotalCost:
+    def test_fig1_single_pair(self, fig1, labels):
+        # V(c^{-D}) for the single X->Z packet is the D-avoiding cost 5
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        assert removed_total_cost(fig1, labels["D"], traffic) == 5.0
+
+    def test_pairs_involving_k_unaffected(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["D"], labels["Z"]): 2.0}
+        assert removed_total_cost(fig1, labels["D"], traffic) == pytest.approx(
+            2.0 * routes.cost(labels["D"], labels["Z"])
+        )
+
+    def test_zero_traffic_ignored(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 0.0}
+        assert removed_total_cost(fig1, labels["D"], traffic) == 0.0
+
+
+class TestGrovesIdentity:
+    def test_fig1_all_nodes(self, fig1):
+        traffic = {(i, j): 1.0 for i in fig1.nodes for j in fig1.nodes if i != j}
+        for node in fig1.nodes:
+            assert abs(groves_identity_gap(fig1, node, traffic)) < 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        graph = random_biconnected_graph(
+            9, 0.3, seed=seed, cost_sampler=integer_costs(0, 5)
+        )
+        traffic = {(i, j): float(1 + (i + j) % 3)
+                   for i in graph.nodes for j in graph.nodes if i != j}
+        for node in graph.nodes:
+            assert abs(groves_identity_gap(graph, node, traffic)) < 1e-6
+
+
+class TestPerturbationWitness:
+    def test_constant_bonus_breaks_zero_payment(self, fig1, labels):
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        witness = perturbed_mechanism_witness(
+            fig1, labels["A"], traffic, perturbation=lambda declared: 1.0
+        )
+        assert witness.violates_zero_payment
+        assert witness.violated
+
+    def test_declaration_dependent_bonus_breaks_strategyproofness(self, fig1, labels):
+        # pay a bonus proportional to the declared cost: overstating
+        # becomes profitable for a node that keeps its traffic
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        witness = perturbed_mechanism_witness(
+            fig1,
+            labels["D"],
+            traffic,
+            perturbation=lambda declared: 2.0 * declared,
+            lies=(2.0, 4.0, 7.9),
+        )
+        assert witness.violates_strategyproofness
+        assert witness.violated
+
+    def test_null_perturbation_is_clean(self, fig1, labels):
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        witness = perturbed_mechanism_witness(
+            fig1, labels["D"], traffic, perturbation=lambda declared: 0.0
+        )
+        assert not witness.violates_zero_payment
+        assert not witness.violates_strategyproofness

@@ -1,0 +1,94 @@
+"""Tests for repro.mechanism.welfare."""
+
+import pytest
+
+from repro.mechanism.vcg import compute_price_table
+from repro.mechanism.welfare import (
+    node_incurred_cost,
+    node_utility,
+    total_cost,
+    total_payment,
+    welfare_summary,
+)
+from repro.routing.allpairs import all_pairs_lcp
+
+
+class TestIncurredCost:
+    def test_single_packet(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        assert node_incurred_cost(routes, traffic, labels["D"]) == 1.0
+        assert node_incurred_cost(routes, traffic, labels["B"]) == 2.0
+        assert node_incurred_cost(routes, traffic, labels["A"]) == 0.0
+
+    def test_intensity_scales(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 4.0}
+        assert node_incurred_cost(routes, traffic, labels["D"]) == 4.0
+
+    def test_true_cost_override(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        assert node_incurred_cost(routes, traffic, labels["D"], true_cost=7.0) == 7.0
+
+
+class TestTotalCost:
+    def test_equals_sum_of_path_costs(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 1.0, (labels["Y"], labels["Z"]): 2.0}
+        # V = 1*3 + 2*1 = 5
+        assert total_cost(routes, traffic) == 5.0
+
+    def test_true_costs_override(self, fig1, labels):
+        routes = all_pairs_lcp(fig1)
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        # route is X-B-D-Z (chosen by declared costs); truth makes D cost 10
+        true_costs = dict(fig1.costs())
+        true_costs[labels["D"]] = 10.0
+        assert total_cost(routes, traffic, true_costs=true_costs) == 12.0
+
+
+class TestUtility:
+    def test_truthful_utility_is_marginal_benefit(self, fig1, labels):
+        table = compute_price_table(fig1)
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        # D is paid 9, incurs 1 -> utility 8
+        assert node_utility(table, traffic, labels["D"]) == 8.0
+
+    def test_idle_node_zero_utility(self, fig1, labels):
+        table = compute_price_table(fig1)
+        traffic = {(labels["Y"], labels["Z"]): 1.0}
+        assert node_utility(table, traffic, labels["A"]) == 0.0
+
+    def test_utility_nonnegative_when_truthful(self, small_random):
+        # individual rationality of VCG with truthful declarations
+        table = compute_price_table(small_random)
+        traffic = {
+            (i, j): 1.0
+            for i in small_random.nodes
+            for j in small_random.nodes
+            if i != j
+        }
+        for node in small_random.nodes:
+            assert node_utility(table, traffic, node) >= -1e-9
+
+
+class TestTotals:
+    def test_total_payment_ge_total_cost(self, small_random):
+        table = compute_price_table(small_random)
+        traffic = {
+            (i, j): 2.0
+            for i in small_random.nodes
+            for j in small_random.nodes
+            if i != j
+        }
+        assert total_payment(table, traffic) >= total_cost(table.routes, traffic) - 1e-9
+
+    def test_welfare_summary_consistency(self, fig1, labels):
+        table = compute_price_table(fig1)
+        traffic = {(labels["X"], labels["Z"]): 1.0}
+        summary = welfare_summary(table, traffic)
+        assert summary["total_cost"] == 3.0
+        assert summary["total_payment"] == 7.0
+        assert summary["overpayment"] == 4.0
+        assert summary["overpayment_ratio"] == pytest.approx(7.0 / 3.0)
