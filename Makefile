@@ -1,0 +1,23 @@
+# Development entry points.  `make check` is the full gate CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test bench sanitize-test
+
+check:
+	$(PYTHON) -m repro.devtools.check
+
+lint:
+	$(PYTHON) -m repro.devtools.lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# the whole suite doubles as a sanitizer stress test: every protocol
+# run is invariant-checked end to end
+sanitize-test:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,52 @@
+"""Overhead of the runtime sanitizer (repro.devtools.sanitize).
+
+The sanitizer's contract is *zero-cost when off*: the hot paths pay one
+``enabled()`` predicate call per guarded site and nothing else.  The
+off-mode benchmarks here are directly comparable to the uninstrumented
+engine baselines in ``bench_scaling_engines.py``; the on-mode benchmarks
+document what full checking costs (it recomputes Dijkstras per check, so
+it is intentionally expensive -- a debugging mode, not a shipping mode).
+"""
+
+import pytest
+
+from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.devtools import sanitize
+from repro.mechanism.vcg import compute_price_table
+
+
+@pytest.fixture(autouse=True)
+def _restore_sanitizer_state():
+    previous = sanitize.enabled()
+    yield
+    if previous:
+        sanitize.enable()
+    else:
+        sanitize.disable()
+
+
+def test_bench_distributed_sanitizer_off(benchmark, isp16):
+    sanitize.disable()
+    checks_before = sanitize.checks_run()
+    result = benchmark(run_distributed_mechanism, isp16)
+    assert verify_against_centralized(result).ok
+    assert sanitize.checks_run() == checks_before  # off means *zero* checks
+
+
+def test_bench_distributed_sanitizer_on(benchmark, isp16):
+    sanitize.enable()
+    result = benchmark(run_distributed_mechanism, isp16)
+    assert verify_against_centralized(result).ok
+    assert sanitize.checks_run() > 0
+
+
+def test_bench_centralized_sanitizer_off(benchmark, isp16):
+    sanitize.disable()
+    table = benchmark(compute_price_table, isp16)
+    assert table.rows
+
+
+def test_bench_centralized_sanitizer_on(benchmark, isp16):
+    sanitize.enable()
+    table = benchmark(compute_price_table, isp16)
+    assert table.rows

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Tuple
 
 from repro.exceptions import MechanismError
-from repro.types import Cost, NodeId
+from repro.types import Cost, NodeId, is_finite_cost
 
 
 class PacketTally:
@@ -42,7 +42,7 @@ class PacketTally:
             raise MechanismError("self-traffic carries no transit charges")
         self.packets_sent += count
         for k, price in price_row.items():
-            if price != price or price < 0 or price == float("inf"):
+            if not is_finite_cost(price) or price < 0:
                 raise MechanismError(
                     f"unusable price {price!r} for transit node {k}; "
                     "tallies must only run on converged prices"

@@ -18,7 +18,7 @@ from repro.bgp.policy import HopCountPolicy
 from repro.exceptions import MechanismError
 from repro.graphs.asgraph import ASGraph
 from repro.routing.allpairs import all_pairs_lcp
-from repro.types import Cost, NodeId, PathTuple
+from repro.types import Cost, NodeId, PathTuple, is_zero_cost
 
 PairKey = Tuple[NodeId, NodeId]
 
@@ -49,7 +49,7 @@ class StretchReport:
 
     @property
     def aggregate_stretch(self) -> float:
-        if self.total_lcp_cost == 0:
+        if is_zero_cost(self.total_lcp_cost):
             return 1.0
         return self.total_hopcount_cost / self.total_lcp_cost
 
@@ -88,7 +88,7 @@ def route_stretch(graph: ASGraph) -> StretchReport:
             if stretch > max_stretch:
                 max_stretch = stretch
                 max_pair = (source, destination)
-        elif hop_cost == 0:
+        elif is_zero_cost(hop_cost):
             stretches.append(1.0)
     mean = sum(stretches) / len(stretches) if stretches else 1.0
     return StretchReport(

@@ -18,11 +18,12 @@ machinery of the main library deliberately does not model edge costs).
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import GraphError, UnreachableError
-from repro.types import NodeId
+from repro.types import NodeId, is_zero_cost
 
 Edge = Tuple[NodeId, NodeId]
 INF = float("inf")
@@ -46,7 +47,7 @@ class EdgeWeightedGraph:
             if key in self._costs:
                 raise GraphError(f"duplicate edge {key}")
             cost = float(cost)
-            if cost < 0 or cost != cost:
+            if cost < 0 or math.isnan(cost):
                 raise GraphError(f"edge {key} has invalid cost {cost!r}")
             self._costs[key] = cost
             self._adjacency.setdefault(u, []).append(v)
@@ -142,8 +143,8 @@ class NisanRonenResult:
 
     @property
     def overpayment_ratio(self) -> float:
-        if self.path_cost == 0:
-            return 1.0 if self.total_payment == 0 else INF
+        if is_zero_cost(self.path_cost):
+            return 1.0 if is_zero_cost(self.total_payment) else INF
         return self.total_payment / self.path_cost
 
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.bgp.messages import RouteAdvertisement
 from repro.bgp.metrics import ConvergenceReport, StageStats, StateReport
 from repro.bgp.node import BGPNode
+from repro.devtools import sanitize
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.exceptions import ConvergenceError, ProtocolError
 from repro.graphs.asgraph import ASGraph
@@ -63,7 +64,9 @@ def _materially_different(
         old = old_by_dest.get(advert.destination)
         if old is None:
             return True
-        if old.path != advert.path or old.cost != advert.cost:
+        # Exact comparison is deliberate: both engines accumulate costs
+        # bit-identically, so any difference is a real route change.
+        if old.path != advert.path or old.cost != advert.cost:  # repro-lint: ok(RPR001)
             return True
         if dict(old.node_costs) != dict(advert.node_costs):
             return True
@@ -120,6 +123,13 @@ class SynchronousEngine:
         self._pending: Set[NodeId] = set()
         self._initialized = False
         self.stage_count = 0
+        # Per-node route-key snapshots for the sanitizer's monotone
+        # convergence check.  Monotonicity holds only from a cold start:
+        # warm reconvergence after an event (e.g. a cost increase under
+        # restart_on_events=False) legitimately worsens routes, so the
+        # check is disarmed then and re-armed by a full restart.
+        self._sanitize_baseline: Dict[NodeId, sanitize.RouteKeySnapshot] = {}
+        self._sanitize_monotone_armed = True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -163,6 +173,8 @@ class SynchronousEngine:
                 self._published[node_id] = adverts
                 changed.add(node_id)
         self._pending = changed
+        if sanitize.enabled():
+            self._sanitize_stage()
         return StageStats(
             stage=self.stage_count,
             nodes_changed=len(materially_changed),
@@ -201,6 +213,41 @@ class SynchronousEngine:
     @property
     def quiescent(self) -> bool:
         return self._initialized and not self._pending
+
+    # ------------------------------------------------------------------
+    # Sanitizer hooks
+    # ------------------------------------------------------------------
+    def _has_live_link(self, u: NodeId, v: NodeId) -> bool:
+        return v in self.adjacency.get(u, ())
+
+    def _sanitize_stage(self) -> None:
+        """Per-stage invariant checks (only when the sanitizer is on):
+        every selected path is a simple, endpoint-correct walk, and no
+        node's selected route key worsened within the current epoch.
+        The live-link part of the path check (like monotonicity) is only
+        sound in a cold epoch: during warm reconvergence, path-vector
+        routing legitimately holds routes through a failed link until
+        the withdrawal propagates."""
+        if self._sanitize_monotone_armed:
+            has_edge = self._has_live_link
+        else:
+            has_edge = lambda u, v: True  # noqa: E731 - stale links allowed warm
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            for destination in sorted(node.routes):
+                entry = node.routes[destination]
+                sanitize.check_path(
+                    entry.path,
+                    has_edge=has_edge,
+                    source=node_id,
+                    destination=destination,
+                )
+            if self._sanitize_monotone_armed:
+                current = sanitize.snapshot_routes(node.routes)
+                previous = self._sanitize_baseline.get(node_id)
+                if previous is not None:
+                    sanitize.check_routes_monotone(node_id, previous, current)
+                self._sanitize_baseline[node_id] = current
 
     # ------------------------------------------------------------------
     # Dynamics
@@ -254,6 +301,10 @@ class SynchronousEngine:
         are left warm -- path-vector routing is self-correcting and its
         incremental reconvergence is itself worth measuring.
         """
+        # A warm reconvergence epoch is not monotone (stale low-cost
+        # routes persist until the news propagates); disarm the check.
+        self._sanitize_baseline.clear()
+        self._sanitize_monotone_armed = False
         needs_restart = self.restart_on_events and any(
             node.RESTART_ON_EVENT for node in self.nodes.values()
         )
@@ -263,6 +314,8 @@ class SynchronousEngine:
     def full_restart(self) -> None:
         """Forget everything learned and reconverge from scratch (the
         paper's convergence-begins-again model)."""
+        self._sanitize_baseline.clear()
+        self._sanitize_monotone_armed = True
         for node_id, node in self.nodes.items():
             node.restart()
             self._published[node_id] = node.advertisements()
@@ -335,6 +388,9 @@ class AsynchronousEngine:
         # would overwrite fresh state with stale state.
         self._link_clock: Dict[Tuple[NodeId, NodeId], float] = {}
         self.deliveries = 0
+        # Sanitizer baseline (see SynchronousEngine); only meaningful
+        # under FIFO delivery, where route keys improve monotonically.
+        self._sanitize_baseline: Dict[NodeId, sanitize.RouteKeySnapshot] = {}
 
     def initialize(self) -> None:
         for node_id, node in self.nodes.items():
@@ -367,12 +423,31 @@ class AsynchronousEngine:
             node = self.nodes[receiver]
             node.receive_table(sender, table)
             node.decide()
+            if sanitize.enabled():
+                self._sanitize_delivery(receiver, node)
             adverts = node.advertisements()
             if adverts != self._published.get(receiver):
                 self._broadcast(receiver, adverts)
         report = ConvergenceReport(converged=True, stages=0)
         report.total_messages = self.deliveries
         return report
+
+    def _sanitize_delivery(self, receiver: NodeId, node: BGPNode) -> None:
+        """Invariant checks after one delivery (sanitizer on only)."""
+        for destination in sorted(node.routes):
+            entry = node.routes[destination]
+            sanitize.check_path(
+                entry.path,
+                has_edge=self.graph.has_edge,
+                source=receiver,
+                destination=destination,
+            )
+        if self.fifo_links:
+            current = sanitize.snapshot_routes(node.routes)
+            previous = self._sanitize_baseline.get(receiver)
+            if previous is not None:
+                sanitize.check_routes_monotone(receiver, previous, current)
+            self._sanitize_baseline[receiver] = current
 
     def node(self, node_id: NodeId) -> BGPNode:
         return self.nodes[node_id]

@@ -100,7 +100,9 @@ class BGPNode:
                     del self.routes[destination]
                     changed.add(destination)
                 continue
-            if previous is None or previous.path != entry.path or previous.cost != entry.cost:
+            # Exact cost comparison is deliberate: accumulation is
+            # bit-identical, so any difference is a real route change.
+            if previous is None or previous.path != entry.path or previous.cost != entry.cost:  # repro-lint: ok(RPR001)
                 self.routes[destination] = entry
                 changed.add(destination)
             else:

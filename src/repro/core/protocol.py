@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
+from repro.devtools import sanitize
 from repro.bgp.metrics import ConvergenceReport
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.core.price_node import PriceComputingNode, UpdateMode
@@ -73,12 +74,14 @@ class DistributedPriceResult:
     """Everything the distributed protocol computed."""
 
     graph: ASGraph
-    engine: object
+    engine: Union[SynchronousEngine, AsynchronousEngine]
     report: ConvergenceReport
     mode: UpdateMode
 
     def node(self, node_id: NodeId) -> PriceComputingNode:
-        return self.engine.nodes[node_id]
+        node = self.engine.nodes[node_id]
+        assert isinstance(node, PriceComputingNode)
+        return node
 
     def path(self, source: NodeId, destination: NodeId) -> PathTuple:
         entry = self.node(source).route(destination)
@@ -122,10 +125,16 @@ def run_distributed_mechanism(
 ) -> DistributedPriceResult:
     """Run the full FPSS protocol (routes + prices) to quiescence."""
     policy = policy or LowestCostPolicy()
+    if sanitize.enabled():
+        # Theorem 1 precondition: without biconnectivity some k-avoiding
+        # path is missing and the prices the protocol would converge to
+        # are undefined (monopoly positions).
+        sanitize.check_biconnected(graph)
 
     def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
         return PriceComputingNode(node_id, cost, pol, mode=mode)
 
+    engine: Union[SynchronousEngine, AsynchronousEngine]
     if asynchronous:
         engine = AsynchronousEngine(
             graph, policy=policy, node_factory=factory, seed=seed
@@ -136,6 +145,18 @@ def run_distributed_mechanism(
         engine = SynchronousEngine(graph, policy=policy, node_factory=factory)
         engine.initialize()
         report = engine.run(max_stages=max_stages)
+    if sanitize.enabled():
+        # End-to-end validation of the converged state: every selected
+        # route re-verified against Dijkstra, every price against the
+        # Theorem 1 identity recomputed from scratch.
+        sanitize.check_distributed_prices(
+            graph,
+            {node_id: node.routes for node_id, node in engine.nodes.items()},
+            {
+                node_id: getattr(node, "price_rows", {})
+                for node_id, node in engine.nodes.items()
+            },
+        )
     return DistributedPriceResult(graph=graph, engine=engine, report=report, mode=mode)
 
 

@@ -1,0 +1,24 @@
+"""Correctness tooling for the repro library.
+
+Two layers, both repo-specific:
+
+* :mod:`repro.devtools.lint` -- an AST linter enforcing the coding
+  invariants the paper's guarantees silently rely on (no float equality
+  on costs, no mutation of routing structures in protocol loops,
+  deterministic iteration, seeded randomness only).
+* :mod:`repro.devtools.sanitize` -- a runtime sanitizer: cheap,
+  toggleable checks of the semantic invariants (the Theorem 1 price
+  identity, non-negativity, zero payment off-path, LCP optimality,
+  biconnectivity, monotone route convergence) wired into the protocol
+  engines and the centralized mechanism.
+
+:mod:`repro.devtools.check` bundles them with the external gates (ruff,
+mypy, pytest) into the single entry point CI runs.
+
+This package must stay import-light: the engines import
+:mod:`repro.devtools.sanitize` on their hot paths.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "sanitize", "check"]

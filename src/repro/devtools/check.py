@@ -1,0 +1,141 @@
+"""The one-command correctness gate: ``python -m repro.devtools.check``.
+
+Runs, in order:
+
+1. **lint** -- the repo-specific AST rules (:mod:`repro.devtools.lint`),
+   in-process;
+2. **ruff** -- generic style/bug lint, if ruff is installed;
+3. **mypy** -- strict static typing, if mypy is installed;
+4. **pytest** -- the tier-1 test suite.
+
+External tools that are not installed are reported ``SKIP`` rather than
+failing the gate: the repo-specific checks carry the invariants that
+matter, and offline environments (like the reproduction container) do
+not ship ruff/mypy.  CI installs both, so skips never hide a regression
+on the gating path.
+
+Exit status is non-zero iff any executed step failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools import lint
+
+__all__ = ["StepResult", "run_checks", "main"]
+
+_PASS, _FAIL, _SKIP = "PASS", "FAIL", "SKIP"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one gate step."""
+
+    name: str
+    status: str  # PASS / FAIL / SKIP
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == _FAIL
+
+
+def _repo_root() -> Path:
+    """The checkout root (three levels above this file's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _src_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def _step_lint() -> StepResult:
+    findings = lint.lint_paths([_src_root()])
+    if findings:
+        listing = "\n".join(str(f) for f in findings)
+        return StepResult("lint", _FAIL, listing)
+    return StepResult("lint", _PASS)
+
+
+def _run_tool(name: str, args: Sequence[str], cwd: Path) -> StepResult:
+    """Run an *optional* external tool; SKIP when it is not installed."""
+    if shutil.which(name) is None:
+        return StepResult(name, _SKIP, f"{name} not installed")
+    proc = subprocess.run(
+        [name, *args], cwd=cwd, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        return StepResult(name, _FAIL, (proc.stdout + proc.stderr).strip())
+    return StepResult(name, _PASS)
+
+
+def _step_ruff(root: Path) -> StepResult:
+    return _run_tool("ruff", ["check", "src"], cwd=root)
+
+
+def _step_mypy(root: Path) -> StepResult:
+    return _run_tool("mypy", ["src/repro"], cwd=root)
+
+
+def _step_pytest(root: Path) -> StepResult:
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=root,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-30:])
+        return StepResult("pytest", _FAIL, tail)
+    return StepResult("pytest", _PASS)
+
+
+def run_checks(skip_tests: bool = False) -> List[StepResult]:
+    """Execute every gate step; never raises on a failing step."""
+    root = _repo_root()
+    results = [_step_lint(), _step_ruff(root), _step_mypy(root)]
+    if not skip_tests:
+        results.append(_step_pytest(root))
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.check",
+        description="Run the full correctness gate (lint, ruff, mypy, pytest).",
+    )
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="run only the static checks (lint, ruff, mypy)",
+    )
+    args = parser.parse_args(argv)
+    results = run_checks(skip_tests=args.skip_tests)
+    for result in results:
+        print(f"{result.status:4s} {result.name}")
+        if result.detail and result.status != _PASS:
+            for line in result.detail.splitlines():
+                print(f"     {line}")
+    failed = [r for r in results if r.failed]
+    if failed:
+        print(f"{len(failed)} step(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

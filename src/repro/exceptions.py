@@ -83,3 +83,17 @@ class ConvergenceError(ProtocolError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant check (:mod:`repro.devtools.sanitize`) failed.
+
+    Raised only while the sanitizer is enabled; it always indicates an
+    implementation bug (or a deliberately seeded corruption in the
+    sanitizer's own tests), never a property of the protocol.
+    """
+
+    def __init__(self, check: str, detail: str):
+        self.check = check
+        self.detail = detail
+        super().__init__(f"[sanitize:{check}] {detail}")

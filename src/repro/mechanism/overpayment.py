@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.mechanism.vcg import PriceTable
-from repro.types import Cost, NodeId
+from repro.types import Cost, NodeId, is_zero_cost
 
 PairKey = Tuple[NodeId, NodeId]
 
@@ -39,7 +39,7 @@ class OverpaymentStats:
     @property
     def aggregate_ratio(self) -> float:
         """Traffic-weighted overall payment / cost ratio."""
-        if self.total_cost == 0:
+        if is_zero_cost(self.total_cost):
             return math.inf if self.total_payment > 0 else 1.0
         return self.total_payment / self.total_cost
 
@@ -53,8 +53,8 @@ def overpayment_ratio(table: PriceTable, source: NodeId, destination: NodeId) ->
     """
     payment = table.total_price(source, destination)
     cost = table.routes.cost(source, destination)
-    if cost == 0:
-        return 1.0 if payment == 0 else math.inf
+    if is_zero_cost(cost):
+        return 1.0 if is_zero_cost(payment) else math.inf
     return payment / cost
 
 
@@ -64,7 +64,7 @@ def node_markups(table: PriceTable, source: NodeId, destination: NodeId) -> Dict
     markups: Dict[NodeId, float] = {}
     for k, price in table.row(source, destination).items():
         cost = table.routes.graph.cost(k)
-        if cost == 0:
+        if is_zero_cost(cost):
             markups[k] = math.inf if price > 0 else 1.0
         else:
             markups[k] = price / cost
@@ -92,7 +92,7 @@ def overpayment_stats(
     for pair in pairs:
         source, destination = pair
         weight = 1.0 if traffic is None else float(traffic.get(pair, 0.0))
-        if traffic is not None and weight == 0.0:
+        if traffic is not None and is_zero_cost(weight):
             continue
         payment = table.total_price(source, destination)
         cost = routes.cost(source, destination)

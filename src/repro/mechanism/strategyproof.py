@@ -98,7 +98,7 @@ def lie_grid(true_cost: Cost, *, factors: Iterable[float] = (0.0, 0.25, 0.5, 0.9
     lies = {round(true_cost * factor, 12) for factor in factors}
     lies.update(round(true_cost + offset, 12) for offset in offsets)
     lies.discard(round(true_cost, 12))
-    return sorted(lie for lie in lies if lie >= 0.0)
+    return [lie for lie in sorted(lies) if lie >= 0.0]
 
 
 def sweep_deviations(

@@ -15,11 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, ItemsView, Iterator, Mapping, Optional, Tuple
 
+from repro.devtools import sanitize
 from repro.exceptions import MechanismError, NotBiconnectedError
 from repro.graphs.asgraph import ASGraph
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp
 from repro.routing.avoiding import avoiding_costs_for_destination, avoiding_tree
-from repro.types import Cost, NodeId
+from repro.types import Cost, NodeId, is_zero_cost
 
 PriceRow = Dict[NodeId, Cost]
 PairKey = Tuple[NodeId, NodeId]
@@ -134,7 +135,10 @@ def compute_price_table(
                     )
                 row[k] = price
             rows[(source, destination)] = row
-    return PriceTable(routes=routes, rows=rows)
+    table = PriceTable(routes=routes, rows=rows)
+    if sanitize.enabled():
+        sanitize.check_price_table(graph, table)
+    return table
 
 
 def payments(
@@ -150,7 +154,7 @@ def payments(
     """
     totals: Dict[NodeId, Cost] = {node: 0.0 for node in table.routes.graph.nodes}
     for (source, destination), intensity in traffic.items():
-        if intensity == 0:
+        if is_zero_cost(intensity):
             continue
         if intensity < 0:
             raise MechanismError(

@@ -20,7 +20,7 @@ from repro.mechanism.vcg import compute_price_table
 from repro.mechanism.welfare import node_utility
 from repro.strategic.agents import StrategicAgent, TruthfulAgent
 from repro.traffic.matrix import TrafficMatrix
-from repro.types import Cost, NodeId
+from repro.types import Cost, NodeId, costs_close
 
 
 @dataclass
@@ -71,7 +71,7 @@ def play_declaration_game(
         utilities[node] = node_utility(
             table, traffic_map, node, true_cost=graph.cost(node)
         )
-        if declared[node] == graph.cost(node):
+        if costs_close(declared[node], graph.cost(node)):
             counterfactuals[node] = utilities[node]
             continue
         # Fix everyone else's declaration, switch this agent to truth.

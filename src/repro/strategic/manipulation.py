@@ -34,7 +34,7 @@ from repro.bgp.policy import SelectionPolicy
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.graphs.asgraph import ASGraph
 from repro.routing.paths import transit_cost
-from repro.types import Cost, NodeId
+from repro.types import Cost, NodeId, is_zero_cost
 
 PairKey = Tuple[NodeId, NodeId]
 
@@ -58,7 +58,7 @@ class ManipulativePriceNode(PriceComputingNode):
 
     def _advert_for(self, destination: NodeId) -> RouteAdvertisement:
         honest = super()._advert_for(destination)
-        if self.deflate_by == 0.0 or len(honest.path) < 3:
+        if is_zero_cost(self.deflate_by) or len(honest.path) < 3:
             return honest  # nothing to skim on a direct route
         return RouteAdvertisement(
             sender=honest.sender,
@@ -75,7 +75,7 @@ def audit_advertisement(advert: RouteAdvertisement) -> bool:
     """Integrity check: the advertised cost must equal the transit cost
     recomputed from the advertisement's own per-node cost claims."""
     if advert.is_self_route:
-        return advert.cost == 0.0
+        return is_zero_cost(advert.cost)
     try:
         expected = transit_cost(lambda node: advert.node_costs[node], advert.path)
     except KeyError:

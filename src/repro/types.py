@@ -14,6 +14,7 @@ The conventions here mirror Section 3 of the paper:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 NodeId = int
@@ -41,10 +42,38 @@ AdjacencyList = Mapping[NodeId, Sequence[NodeId]]
 INFINITY: Cost = float("inf")
 """The cost used for unreachable paths and hypothetical node removal."""
 
+EPSILON: float = 1e-9
+"""The library-wide tolerance for comparing derived cost/price values.
+
+Raw declared costs and canonically accumulated path costs are exact and
+may be compared with ``==`` (the engines accumulate bit-identically by
+design; see :mod:`repro.routing.tiebreak`).  Anything *derived* through
+differently-associated arithmetic -- prices, utilities, welfare sums --
+must be compared through :func:`costs_close` / :func:`is_zero_cost`
+instead; the lint rule RPR001 enforces this.
+"""
+
 
 def is_finite_cost(value: Cost) -> bool:
     """Return ``True`` when *value* is a usable (finite, non-NaN) cost."""
-    return value == value and value != INFINITY and value != -INFINITY
+    return math.isfinite(value)
+
+
+def costs_close(a: Cost, b: Cost, *, eps: float = EPSILON) -> bool:
+    """Whether two derived cost/price values are equal up to tolerance.
+
+    Uses both a relative and an absolute tolerance of *eps*, so values
+    near zero compare sensibly.  Infinities compare equal only to
+    themselves; NaN compares equal to nothing.
+    """
+    if a == b:  # repro-lint: ok(RPR001) -- fast path and +-inf identity
+        return True
+    return math.isclose(a, b, rel_tol=eps, abs_tol=eps)
+
+
+def is_zero_cost(value: Cost, *, eps: float = EPSILON) -> bool:
+    """Whether a derived cost/price value is zero up to tolerance."""
+    return -eps <= value <= eps
 
 
 def validate_cost(value: Cost, *, what: str = "cost") -> Cost:
@@ -56,11 +85,11 @@ def validate_cost(value: Cost, *, what: str = "cost") -> Cost:
     the uniqueness proof.
     """
     cost = float(value)
-    if cost != cost:  # NaN
+    if math.isnan(cost):
         raise ValueError(f"{what} may not be NaN")
     if cost < 0:
         raise ValueError(f"{what} must be non-negative, got {cost!r}")
-    if cost == INFINITY:
+    if math.isinf(cost):
         raise ValueError(f"{what} must be finite, got infinity")
     return cost
 

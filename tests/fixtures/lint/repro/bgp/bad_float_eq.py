@@ -1,0 +1,15 @@
+"""Lint fixture: RPR001 violations (float equality on cost-like values)."""
+
+
+def change_detect(old_cost, new_cost):
+    if old_cost == new_cost:
+        return False
+    return True
+
+
+def zero_price(price):
+    return price == 0.0
+
+
+def nan_guard(payment):
+    return payment != payment

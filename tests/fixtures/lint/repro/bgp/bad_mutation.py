@@ -1,0 +1,17 @@
+"""Lint fixture: RPR002 violations (mutating routing structures)."""
+
+
+def poison_graph(self):
+    self.graph.node_costs[3] = 0.0
+
+
+def rewrite_entry(entry, new_path):
+    entry.path = new_path
+
+
+def grow_path(path, node):
+    path.append(node)
+
+
+def drop_node(graph, node):
+    del graph.adjacency[node]

@@ -1,0 +1,27 @@
+"""Lint fixture: RPR004 violations (unseeded randomness)."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def jitter():
+    return random.random()
+
+
+def unseeded_rng():
+    return random.Random()
+
+
+def scramble(items):
+    shuffle(items)
+    return items
+
+
+def legacy_numpy():
+    return np.random.uniform(0.0, 1.0)
+
+
+def unseeded_generator():
+    return np.random.default_rng()

@@ -1,0 +1,11 @@
+"""Lint fixture: pragma-suppressed violations (must lint clean)."""
+
+import random
+
+
+def change_detect(old_cost, new_cost):
+    return old_cost != new_cost  # repro-lint: ok(RPR001)
+
+
+def jitter():
+    return random.random()  # repro-lint: ok

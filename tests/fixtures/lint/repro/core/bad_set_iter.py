@@ -1,0 +1,18 @@
+"""Lint fixture: RPR003 violations (unordered set iteration)."""
+
+from typing import Set
+
+
+def broadcast(neighbors: Set[int]):
+    for neighbor in neighbors:
+        yield neighbor
+
+
+def first_transit(path):
+    transit = set(path[1:-1])
+    return [k for k in transit]
+
+
+def literal_iteration():
+    for node in {3, 1, 2}:
+        yield node

@@ -1,0 +1,57 @@
+"""Tests for repro.devtools.check (the bundled gate).
+
+The pytest step is always skipped here -- running it from inside the
+suite would recurse.  External tools may legitimately be absent (the
+reproduction container has no ruff/mypy), so their steps must come back
+PASS or SKIP, never crash; the in-process lint step must PASS on the
+shipped tree.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.check import StepResult, main, run_checks
+
+
+class TestRunChecks:
+    def test_static_steps_never_fail_on_shipped_tree(self):
+        results = run_checks(skip_tests=True)
+        assert [r.name for r in results] == ["lint", "ruff", "mypy"]
+        for result in results:
+            assert result.status in {"PASS", "SKIP"}, f"{result.name}: {result.detail}"
+
+    def test_lint_step_passes(self):
+        results = {r.name: r for r in run_checks(skip_tests=True)}
+        assert results["lint"].status == "PASS"
+
+    def test_missing_tool_is_skip_not_fail(self, monkeypatch):
+        monkeypatch.setattr("shutil.which", lambda name: None)
+        results = {r.name: r for r in run_checks(skip_tests=True)}
+        assert results["ruff"].status == "SKIP"
+        assert results["mypy"].status == "SKIP"
+
+    def test_step_result_failed_property(self):
+        assert StepResult("x", "FAIL").failed
+        assert not StepResult("x", "PASS").failed
+        assert not StepResult("x", "SKIP").failed
+
+
+class TestMain:
+    def test_exit_zero_and_report(self, capsys):
+        assert main(["--skip-tests"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+        assert "ruff" in out
+        assert "mypy" in out
+
+    def test_exit_one_on_failure(self, capsys, monkeypatch):
+        import repro.devtools.check as check_mod
+
+        monkeypatch.setattr(
+            check_mod,
+            "_step_lint",
+            lambda: StepResult("lint", "FAIL", "bgp/x.py:1:1: RPR001 bad"),
+        )
+        assert main(["--skip-tests"]) == 1
+        captured = capsys.readouterr()
+        assert "RPR001" in captured.out
+        assert "failed" in captured.err
