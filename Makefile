@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench sanitize-test
+.PHONY: check lint test bench sanitize-test test-engines
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -18,6 +18,17 @@ test:
 # run is invariant-checked end to end
 sanitize-test:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+# cross-engine differential harness: every registered engine must
+# agree with the reference (golden fixtures, worker/shard invariance,
+# zero-cost exactness), with the runtime sanitizer enabled
+test-engines:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q \
+		tests/test_engine_differential.py \
+		tests/test_golden_engines.py \
+		tests/test_engine_parallel.py \
+		tests/test_engine_registry.py \
+		tests/test_scipy_engine.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

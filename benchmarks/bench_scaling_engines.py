@@ -1,10 +1,34 @@
-"""E11: engine scaling -- pure Python vs vectorized scipy, same answers."""
+"""E11: engine scaling -- reference vs scipy vs parallel, same answers.
+
+The price-table benchmarks run every registered engine on the same
+n = 100 ISP-like instance and assert the results agree with the
+reference engine (bit-for-bit for path engines, ``costs_close`` for the
+vectorized cost-only engine), so the benchmark doubles as the
+differential harness at benchmark scale.  On multi-core hosts the
+parallel engine's wall clock beats the reference engine here; the
+assertion layer guarantees the speed never buys different answers.
+"""
 
 import numpy as np
-import pytest
 
+from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.engines import get_engine
 from repro.routing.scipy_engine import all_pairs_costs
+from repro.types import costs_close
+
+
+def _assert_tables_agree(reference, candidate, exact):
+    assert set(candidate.rows) == set(reference.rows)
+    for pair in reference.rows:
+        ref_row = reference.rows[pair]
+        cand_row = candidate.rows[pair]
+        assert set(cand_row) == set(ref_row)
+        for k, price in ref_row.items():
+            if exact:
+                assert cand_row[k] == price
+            else:
+                assert costs_close(cand_row[k], price)
 
 
 def test_bench_python_all_pairs(benchmark, isp32):
@@ -19,3 +43,27 @@ def test_bench_scipy_all_pairs(benchmark, isp32):
     for (i, j), _path in routes.paths.items():
         reference[index[i], index[j]] = routes.cost(i, j)
     assert np.abs(matrix - reference).max() <= 1e-9
+
+
+def test_bench_parallel_all_pairs(benchmark, isp32):
+    engine = get_engine("parallel", workers=2)
+    routes = benchmark(engine.all_pairs, isp32)
+    assert routes.paths == all_pairs_lcp(isp32).paths
+
+
+def test_bench_prices_reference_n100(benchmark, isp100, isp100_reference_prices):
+    table = benchmark.pedantic(compute_price_table, args=(isp100,), rounds=1, iterations=1)
+    _assert_tables_agree(isp100_reference_prices, table, exact=True)
+
+
+def test_bench_prices_parallel_n100(benchmark, isp100, isp100_reference_prices):
+    engine = get_engine("parallel", workers=2)
+    table = benchmark.pedantic(engine.price_table, args=(isp100,), rounds=1, iterations=1)
+    assert engine.workers >= 2
+    _assert_tables_agree(isp100_reference_prices, table, exact=True)
+
+
+def test_bench_prices_scipy_n100(benchmark, isp100, isp100_reference_prices):
+    engine = get_engine("scipy")
+    table = benchmark.pedantic(engine.price_table, args=(isp100,), rounds=1, iterations=1)
+    _assert_tables_agree(isp100_reference_prices, table, exact=False)

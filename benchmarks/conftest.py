@@ -37,6 +37,23 @@ def isp32():
 
 
 @pytest.fixture(scope="session")
+def isp100():
+    """The engine-comparison instance: all-pairs prices at n = 100 are
+    expensive enough (seconds, pure Python) for parallel/vectorized
+    engines to show real wall-clock separation."""
+    return isp_like_graph(100, seed=0, cost_sampler=integer_costs(1, 6))
+
+
+@pytest.fixture(scope="session")
+def isp100_reference_prices(isp100):
+    """The reference engine's price table on ``isp100``, computed once;
+    every engine benchmark asserts agreement against it."""
+    from repro.mechanism.vcg import compute_price_table
+
+    return compute_price_table(isp100)
+
+
+@pytest.fixture(scope="session")
 def ring12():
     return ring_graph(12, seed=0, cost_sampler=integer_costs(1, 5))
 

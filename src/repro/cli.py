@@ -3,7 +3,8 @@
 Subcommands::
 
     repro-experiments list                    # show experiment ids
-    repro-experiments run E5 [--scale full]   # run one, print tables
+    repro-experiments engines                 # show registered engines
+    repro-experiments run E5 [--scale full] [--engine parallel]
     repro-experiments all [--scale full] [--write-md EXPERIMENTS.md]
 """
 
@@ -12,10 +13,11 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.registry import list_experiments
 from repro.experiments.runner import run_all, run_experiment, write_experiments_md
+from repro.routing.engines import engine_names, get_engine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,14 +32,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list experiment ids and titles")
 
+    subparsers.add_parser(
+        "engines", help="list registered route/price engines"
+    )
+
+    engine_help = (
+        "route/price engine for engine-aware experiments "
+        f"({' | '.join(engine_names())}; default: reference)"
+    )
+
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", help="e.g. E5")
     run_parser.add_argument("--scale", choices=("small", "full"), default="small")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--engine", choices=engine_names(), default=None, help=engine_help
+    )
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", choices=("small", "full"), default="small")
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument(
+        "--engine", choices=engine_names(), default=None, help=engine_help
+    )
     all_parser.add_argument(
         "--write-md",
         metavar="PATH",
@@ -53,12 +70,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id, title in list_experiments():
             print(f"{experiment_id:5s} {title}")
         return 0
+    if args.command == "engines":
+        for name in engine_names():
+            engine = get_engine(name)
+            paths = "paths" if engine.carries_paths else "cost-only"
+            print(f"{name:10s} {paths}")
+        return 0
+    engine_kwargs: Dict[str, Any] = {}
+    if getattr(args, "engine", None) is not None:
+        engine_kwargs["engine"] = args.engine
     if args.command == "run":
-        result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            args.experiment_id, scale=args.scale, seed=args.seed, **engine_kwargs
+        )
         print(result.render())
         return 0 if result.passed else 1
     if args.command == "all":
-        results = run_all(scale=args.scale, seed=args.seed)
+        results = run_all(scale=args.scale, seed=args.seed, **engine_kwargs)
         for result in results:
             print(result.render())
             print()

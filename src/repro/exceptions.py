@@ -81,6 +81,16 @@ class ConvergenceError(ProtocolError):
         )
 
 
+class EngineError(ReproError):
+    """A routing/pricing engine was misused or misconfigured.
+
+    Raised for unknown engine names in the
+    :mod:`repro.routing.engines` registry, for capability mismatches
+    (e.g. asking a cost-only engine for selected paths), and for
+    invalid worker-pool configuration of the parallel engine.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 

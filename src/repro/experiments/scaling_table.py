@@ -1,7 +1,9 @@
 """E11: engine scaling (engineering, not a paper claim).
 
-Compares the pure-Python reference engine against the vectorized scipy
-engine on all-pairs LCP costs, and checks they agree.  This experiment
+Compares every engine registered in :mod:`repro.routing.engines` --
+serial pure-Python reference, vectorized scipy, multiprocessing
+parallel -- on all-pairs LCP costs *and* all-pairs Theorem 1 prices,
+and checks they agree with the reference answers.  This experiment
 exists so the repository's performance story is measured rather than
 asserted; it reproduces no specific paper artifact.
 """
@@ -10,54 +12,98 @@ from __future__ import annotations
 
 import math
 import time
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.report import Table
 from repro.experiments.registry import ExperimentResult
 from repro.graphs.generators import integer_costs, isp_like_graph
-from repro.routing.allpairs import all_pairs_lcp
-from repro.routing.scipy_engine import all_pairs_costs
+from repro.mechanism.vcg import PriceTable
+from repro.routing.engines import Engine, engine_names, get_engine
+
+#: Agreement tolerance for differently-associated float arithmetic.
+_AGREE_EPS = 1e-9
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _price_agreement(reference: PriceTable, candidate: PriceTable) -> float:
+    """Max |price difference| over the union of stored entries."""
+    worst = 0.0
+    pairs = set(reference.rows) | set(candidate.rows)
+    for pair in sorted(pairs):
+        ref_row = reference.rows.get(pair, {})
+        cand_row = candidate.rows.get(pair, {})
+        for k in sorted(set(ref_row) | set(cand_row)):
+            worst = max(worst, abs(ref_row.get(k, 0.0) - cand_row.get(k, 0.0)))
+    return worst
+
+
+def _engines_under_test(engine: Optional[str]) -> List[Tuple[str, Engine]]:
+    """The engines the experiment compares (reference always first)."""
+    names = [engine] if engine is not None else list(engine_names())
+    if "reference" in names:
+        names.remove("reference")
+    ordered = ["reference"] + sorted(names)
+    instances: List[Tuple[str, Engine]] = []
+    for name in ordered:
+        # Pin two workers so the parallel path is a real multi-process
+        # run regardless of host core count.
+        options = {"workers": 2} if name == "parallel" else {}
+        instances.append((name, get_engine(name, **options)))
+    return instances
+
+
+def run(scale: str = "small", seed: int = 0, engine: Optional[str] = None) -> ExperimentResult:
     sizes = (10, 20, 30) if scale == "small" else (20, 40, 80, 120)
+    engines = _engines_under_test(engine)
     out = Table(
-        title="All-pairs LCP cost: pure Python vs scipy",
-        headers=["n", "m", "python s", "scipy s", "speedup", "max |diff|"],
+        title="All-pairs LCP costs and VCG prices, per engine",
+        headers=["n", "m", "engine", "costs s", "prices s", "speedup", "max |diff|"],
     )
     passed = True
     for n in sizes:
         graph = isp_like_graph(n, seed=seed, cost_sampler=integer_costs(1, 9))
+        reference_seconds = 0.0
+        reference_matrix: Optional[np.ndarray] = None
+        reference_table: Optional[PriceTable] = None
+        for name, instance in engines:
+            start = time.perf_counter()
+            costs = instance.cost_matrix(graph)
+            costs_s = time.perf_counter() - start
 
-        start = time.perf_counter()
-        routes = all_pairs_lcp(graph)
-        python_s = time.perf_counter() - start
+            start = time.perf_counter()
+            table = instance.price_table(graph)
+            prices_s = time.perf_counter() - start
 
-        start = time.perf_counter()
-        matrix, index = all_pairs_costs(graph)
-        scipy_s = time.perf_counter() - start
-
-        reference = np.zeros_like(matrix)
-        for (i, j), path in routes.paths.items():
-            reference[index[i], index[j]] = routes.cost(i, j)
-        max_diff = float(np.abs(matrix - reference).max())
-        agree = max_diff <= 1e-9
-        passed = passed and agree
-        out.add_row(
-            n,
-            graph.num_edges,
-            python_s,
-            scipy_s,
-            python_s / scipy_s if scipy_s > 0 else math.inf,
-            max_diff,
-        )
-    out.add_note("integer costs keep both engines bit-exact; diffs must be ~0")
+            if reference_matrix is None or reference_table is None:
+                reference_seconds = costs_s + prices_s
+                reference_matrix = costs.matrix
+                reference_table = table
+                max_diff = 0.0
+            else:
+                cost_diff = float(np.abs(costs.matrix - reference_matrix).max())
+                max_diff = max(cost_diff, _price_agreement(reference_table, table))
+            agree = max_diff <= _AGREE_EPS
+            passed = passed and agree
+            total = costs_s + prices_s
+            out.add_row(
+                n,
+                graph.num_edges,
+                name,
+                costs_s,
+                prices_s,
+                reference_seconds / total if total > 0 else math.inf,
+                max_diff,
+            )
+    out.add_note(
+        "speedup is vs the reference engine's total (costs + prices) on "
+        "the same instance; integer costs keep diffs ~0"
+    )
     return ExperimentResult(
         experiment_id="E11",
         title="Engine scaling",
         paper_artifact="(engineering companion; no paper table)",
-        expectation="engines agree; the vectorized engine wins at scale",
+        expectation="all registered engines agree; accelerated engines win at scale",
         tables=[out],
         passed=passed,
     )

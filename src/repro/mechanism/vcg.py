@@ -13,7 +13,7 @@ every ordered pair, batching the k-avoiding Dijkstras per destination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, ItemsView, Iterator, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, ItemsView, Iterator, Mapping, Optional, Tuple
 
 from repro.devtools import sanitize
 from repro.exceptions import MechanismError, NotBiconnectedError
@@ -21,6 +21,9 @@ from repro.graphs.asgraph import ASGraph
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp
 from repro.routing.avoiding import avoiding_costs_for_destination, avoiding_tree
 from repro.types import Cost, NodeId, is_zero_cost
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.routing.engines import EngineSpec
 
 PriceRow = Dict[NodeId, Cost]
 PairKey = Tuple[NodeId, NodeId]
@@ -99,6 +102,7 @@ def vcg_price(
 def compute_price_table(
     graph: ASGraph,
     routes: Optional[AllPairsRoutes] = None,
+    engine: Optional["EngineSpec"] = None,
 ) -> PriceTable:
     """All-pairs VCG prices, batched per (destination, k).
 
@@ -106,7 +110,18 @@ def compute_price_table(
     *some* selected path toward ``j``, a single Dijkstra on ``G - k``
     rooted at ``j`` provides ``Cost(P_{-k}(c; i, j))`` for every source
     ``i`` simultaneously.
+
+    *engine* selects a registered backend by name (or instance) from
+    :mod:`repro.routing.engines` -- ``"scipy"`` vectorizes the avoiding
+    sweep, ``"parallel"`` shards destinations over worker processes.
+    The default (``None`` or ``"reference"``) is the serial reference
+    loop below; every engine returns identical tables per the
+    differential test harness.
     """
+    if engine is not None and engine != "reference":
+        from repro.routing.engines import resolve_engine
+
+        return resolve_engine(engine).price_table(graph, routes=routes)
     routes = routes or all_pairs_lcp(graph)
     rows: Dict[PairKey, PriceRow] = {}
     for destination in graph.nodes:

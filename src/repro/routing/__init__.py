@@ -21,6 +21,10 @@ Key modules:
   second ingredient of the VCG price.
 * :mod:`repro.routing.scipy_engine` -- vectorized cost-only engine for
   large instances.
+* :mod:`repro.routing.engines` -- the unified engine registry
+  (``reference`` | ``scipy`` | ``parallel``) behind the ``engine=``
+  parameter of :func:`all_pairs_lcp` and
+  :func:`repro.mechanism.vcg.compute_price_table`.
 """
 
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp
@@ -30,6 +34,7 @@ from repro.routing.avoiding import (
     avoiding_tree,
 )
 from repro.routing.dijkstra import RouteTree, route_tree
+from repro.routing.engines import Engine, engine_names, get_engine
 from repro.routing.paths import transit_cost, validate_path
 from repro.routing.tiebreak import route_key
 
@@ -39,6 +44,9 @@ __all__ = [
     "avoiding_cost",
     "avoiding_path",
     "avoiding_tree",
+    "Engine",
+    "engine_names",
+    "get_engine",
     "RouteTree",
     "route_tree",
     "transit_cost",

@@ -7,12 +7,15 @@ destination trees, which is also exactly the state BGP distributes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
 from repro.exceptions import DisconnectedGraphError
 from repro.graphs.asgraph import ASGraph
 from repro.routing.dijkstra import RouteTree, route_tree
 from repro.types import Cost, NodeId, PathTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.routing.engines import EngineSpec
 
 
 @dataclass(frozen=True)
@@ -67,12 +70,24 @@ class AllPairsRoutes:
         return iter(sorted(self.paths))
 
 
-def all_pairs_lcp(graph: ASGraph) -> AllPairsRoutes:
+def all_pairs_lcp(
+    graph: ASGraph,
+    engine: Optional["EngineSpec"] = None,
+) -> AllPairsRoutes:
     """Compute selected LCPs for all ordered pairs.
 
     Raises :class:`DisconnectedGraphError` if any pair is unreachable;
     the paper's model assumes (at least) connectivity.
+
+    *engine* selects a registered backend by name (or instance) from
+    :mod:`repro.routing.engines`; the default (``None`` or
+    ``"reference"``) is the serial pure-Python reference path below.
+    Cost-only engines raise :class:`~repro.exceptions.EngineError`.
     """
+    if engine is not None and engine != "reference":
+        from repro.routing.engines import resolve_engine
+
+        return resolve_engine(engine).all_pairs(graph)
     trees: Dict[NodeId, RouteTree] = {}
     expected = graph.num_nodes - 1
     for destination in graph.nodes:

@@ -1,0 +1,397 @@
+"""The multiprocessing batched engine: destinations sharded across workers.
+
+The paper frames the mechanism as ``n^2`` independent LCP instances
+(Sect. 1) that Section 6 organizes into ``n`` per-destination problems:
+for destination ``j``, one route tree ``T(j)`` plus one ``G - k``
+Dijkstra per transit node ``k`` yields every price ``p^k_ij`` at once.
+Nothing couples two destinations, so all-pairs route/price computation
+is embarrassingly parallel.  This engine exploits exactly that
+structure:
+
+1. **Shard.** The destination list is split round-robin into
+   ``workers * shards_per_worker`` shards
+   (:func:`shard_destinations`), small enough to balance the skewed
+   per-destination cost of ISP-like topologies.
+2. **Serialize once.** Each worker process rebuilds the
+   :class:`~repro.graphs.asgraph.ASGraph` a single time from the pool
+   initializer payload; shards then travel as bare destination tuples.
+3. **Compute in the shard.** A worker runs the *identical* pure-Python
+   per-destination code the reference engine runs -- ``route_tree`` plus
+   :func:`~repro.routing.avoiding.avoiding_costs_for_destination` --
+   so costs and prices are bit-for-bit the reference values, not merely
+   close.  Workers ship back compact ``(parents, costs, price rows)``
+   payloads; full path tuples are reconstructed in the parent from the
+   parent relation (selected paths are suffix consistent by the
+   canonical tie-break, so ``path(i) = (i,) + path(parent(i))``
+   exactly).
+4. **Merge deterministically.** Results are keyed by destination and
+   merged in ascending destination order, which makes the output -- and
+   the first error raised -- invariant to worker count and shard order;
+   the property tests pin this.
+
+Model-assumption failures detected inside a worker (disconnected graph,
+missing k-avoiding path, negative price) are transported as structured
+``(kind, message)`` payloads rather than pickled exceptions, and
+re-raised in the parent as the same exception types, with the same
+messages, the reference engine raises.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools import sanitize
+from repro.exceptions import (
+    DisconnectedGraphError,
+    EngineError,
+    MechanismError,
+    NotBiconnectedError,
+)
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import PriceRow, PriceTable
+from repro.routing.allpairs import AllPairsRoutes
+from repro.routing.avoiding import avoiding_costs_for_destination
+from repro.routing.dijkstra import RouteTree, route_tree
+from repro.routing.engines.base import Engine
+from repro.types import Cost, Edge, NodeId, PathTuple
+
+__all__ = [
+    "ParallelEngine",
+    "shard_destinations",
+    "all_pairs_sharded",
+    "price_table_sharded",
+]
+
+#: Graph rebuilt once per worker process by the pool initializer.
+_WORKER_GRAPH: Optional[ASGraph] = None
+
+_GraphPayload = Tuple[Tuple[Tuple[NodeId, Cost], ...], Tuple[Edge, ...]]
+
+
+@dataclass(frozen=True)
+class _DestinationResult:
+    """Compact per-destination payload shipped from worker to parent."""
+
+    destination: NodeId
+    #: ``i -> next hop of i toward destination`` (empty on error).
+    parents: Dict[NodeId, NodeId]
+    #: ``i -> transit cost of the selected path`` (empty on error).
+    costs: Dict[NodeId, Cost]
+    #: ``source -> {k: price}``; ``None`` for routes-only shards.
+    rows: Optional[Dict[NodeId, PriceRow]]
+    #: ``(kind, message)`` when a model assumption failed in the worker.
+    error: Optional[Tuple[str, str]]
+
+
+def _init_worker(payload: _GraphPayload) -> None:
+    """Pool initializer: rebuild the graph once per worker process."""
+    global _WORKER_GRAPH
+    nodes, edges = payload
+    _WORKER_GRAPH = ASGraph(nodes=nodes, edges=edges)
+
+
+def _graph_payload(graph: ASGraph) -> _GraphPayload:
+    nodes = tuple((node, graph.cost(node)) for node in graph.nodes)
+    return nodes, graph.edges
+
+
+def _require_worker_graph() -> ASGraph:
+    if _WORKER_GRAPH is None:  # pragma: no cover - initializer always runs
+        raise EngineError("worker process has no graph; pool initializer did not run")
+    return _WORKER_GRAPH
+
+
+def _route_destination(graph: ASGraph, destination: NodeId) -> _DestinationResult:
+    """One destination's route tree, or a structured connectivity error."""
+    tree = route_tree(graph, destination)
+    expected = graph.num_nodes - 1
+    if len(tree.sources()) != expected:
+        missing = set(graph.nodes) - set(tree.sources()) - {destination}
+        return _DestinationResult(
+            destination=destination,
+            parents={},
+            costs={},
+            rows=None,
+            error=("disconnected", f"nodes {sorted(missing)} cannot reach {destination}"),
+        )
+    return _DestinationResult(
+        destination=destination,
+        parents=dict(tree.parents),
+        costs={source: tree.cost(source) for source in tree.sources()},
+        rows=None,
+        error=None,
+    )
+
+
+def _price_destination(graph: ASGraph, destination: NodeId) -> _DestinationResult:
+    """One destination's route tree *and* Theorem 1 price rows.
+
+    Runs the same per-destination loop as
+    :func:`repro.mechanism.vcg.compute_price_table`, so transported
+    prices are bit-identical to the reference engine's.
+    """
+    result = _route_destination(graph, destination)
+    if result.error is not None:
+        return result
+    tree = route_tree(graph, destination)
+    transit = set()
+    for source in tree.sources():
+        transit.update(tree.path(source)[1:-1])
+    detours = avoiding_costs_for_destination(graph, destination, tuple(sorted(transit)))
+    rows: Dict[NodeId, PriceRow] = {}
+    for source in tree.sources():
+        path = tree.path(source)
+        if len(path) == 2:
+            continue  # direct link: no transit nodes, no prices
+        row: PriceRow = {}
+        for k in path[1:-1]:
+            detour = detours[k]
+            if not detour.has_route(source):
+                return _DestinationResult(
+                    destination=destination,
+                    parents={},
+                    costs={},
+                    rows=None,
+                    error=(
+                        "not-biconnected",
+                        f"price p^{k}_{{{source},{destination}}} undefined: "
+                        f"no {k}-avoiding path (graph not biconnected)",
+                    ),
+                )
+            price = graph.cost(k) + detour.cost(source) - tree.cost(source)
+            if price < -1e-9:
+                return _DestinationResult(
+                    destination=destination,
+                    parents={},
+                    costs={},
+                    rows=None,
+                    error=(
+                        "negative-price",
+                        f"negative VCG price {price} for k={k}, pair "
+                        f"({source}, {destination}); avoiding cost below LCP cost",
+                    ),
+                )
+            row[k] = price
+        rows[source] = row
+    return _DestinationResult(
+        destination=result.destination,
+        parents=result.parents,
+        costs=result.costs,
+        rows=rows,
+        error=None,
+    )
+
+
+def _routes_shard(destinations: Tuple[NodeId, ...]) -> List[_DestinationResult]:
+    graph = _require_worker_graph()
+    return [_route_destination(graph, destination) for destination in destinations]
+
+
+def _prices_shard(destinations: Tuple[NodeId, ...]) -> List[_DestinationResult]:
+    graph = _require_worker_graph()
+    return [_price_destination(graph, destination) for destination in destinations]
+
+
+def shard_destinations(
+    destinations: Sequence[NodeId],
+    shards: int,
+) -> List[Tuple[NodeId, ...]]:
+    """Partition *destinations* round-robin into at most *shards* shards.
+
+    Round-robin keeps shards balanced when per-destination work is
+    skewed (ISP-like topologies concentrate transit in the core).  The
+    merge step is keyed by destination, so any partition -- in any order
+    -- yields the same final result; this particular one is just a good
+    default.
+    """
+    if shards < 1:
+        raise EngineError(f"shard count must be >= 1, got {shards}")
+    shards = min(shards, len(destinations)) or 1
+    return [tuple(destinations[i::shards]) for i in range(shards)]
+
+
+def _check_partition(graph: ASGraph, shards: Sequence[Tuple[NodeId, ...]]) -> None:
+    sharded = [destination for shard in shards for destination in shard]
+    if sorted(sharded) != list(graph.nodes):
+        raise EngineError(
+            "destination shards must partition the node set exactly; got "
+            f"{sorted(sharded)} for nodes {list(graph.nodes)}"
+        )
+
+
+def _run_shards(
+    graph: ASGraph,
+    shards: Sequence[Tuple[NodeId, ...]],
+    worker: Callable[[Tuple[NodeId, ...]], List[_DestinationResult]],
+    workers: int,
+) -> List[_DestinationResult]:
+    """Run *worker* over every shard, in-process or on a pool."""
+    global _WORKER_GRAPH
+    if workers <= 1 or len(shards) <= 1:
+        # Inline execution: same shard functions, no serialization.
+        previous = _WORKER_GRAPH
+        _WORKER_GRAPH = graph
+        try:
+            return [result for shard in shards for result in worker(shard)]
+        finally:
+            _WORKER_GRAPH = previous
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    with context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(_graph_payload(graph),),
+    ) as pool:
+        return [result for batch in pool.map(worker, shards) for result in batch]
+
+
+_ERROR_TYPES: Dict[str, Callable[[str], Exception]] = {
+    "disconnected": DisconnectedGraphError,
+    "not-biconnected": lambda message: NotBiconnectedError(message=message),
+    "negative-price": MechanismError,
+}
+
+
+def _merged_results(
+    results: Sequence[_DestinationResult],
+) -> List[_DestinationResult]:
+    """Order results by destination and surface the first error.
+
+    Sorting before raising makes both the success output and the raised
+    exception independent of worker count and shard order.
+    """
+    ordered = sorted(results, key=lambda result: result.destination)
+    for result in ordered:
+        if result.error is not None:
+            kind, message = result.error
+            raise _ERROR_TYPES[kind](message)
+    return ordered
+
+
+def _paths_from_parents(
+    destination: NodeId,
+    parents: Dict[NodeId, NodeId],
+) -> Dict[NodeId, PathTuple]:
+    """Rebuild full selected paths from the parent relation.
+
+    Selected paths are suffix consistent under the canonical tie-break
+    (see :mod:`repro.routing.tiebreak`), so the full path of ``i`` is
+    exactly ``(i,) + path(parent(i))``; walking the parent chain
+    reproduces the worker-side tuples bit for bit.
+    """
+    paths: Dict[NodeId, PathTuple] = {destination: (destination,)}
+    for node in parents:
+        pending: List[NodeId] = []
+        cursor = node
+        while cursor not in paths:
+            pending.append(cursor)
+            cursor = parents[cursor]
+        suffix = paths[cursor]
+        for item in reversed(pending):
+            suffix = (item,) + suffix
+            paths[item] = suffix
+    del paths[destination]
+    return paths
+
+
+def _rebuild_tree(result: _DestinationResult) -> RouteTree:
+    return RouteTree(
+        destination=result.destination,
+        parents=result.parents,
+        _paths=_paths_from_parents(result.destination, result.parents),
+        _costs=result.costs,
+    )
+
+
+def _merge_routes(graph: ASGraph, results: Sequence[_DestinationResult]) -> AllPairsRoutes:
+    trees = {result.destination: _rebuild_tree(result) for result in _merged_results(results)}
+    return AllPairsRoutes(graph=graph, trees=trees)
+
+
+def all_pairs_sharded(
+    graph: ASGraph,
+    shards: Sequence[Tuple[NodeId, ...]],
+    workers: int = 1,
+) -> AllPairsRoutes:
+    """All-pairs selected LCPs computed over explicit destination
+    *shards*; exposed so the property tests can permute sharding."""
+    _check_partition(graph, shards)
+    return _merge_routes(graph, _run_shards(graph, shards, _routes_shard, workers))
+
+
+def price_table_sharded(
+    graph: ASGraph,
+    shards: Sequence[Tuple[NodeId, ...]],
+    workers: int = 1,
+    routes: Optional[AllPairsRoutes] = None,
+) -> PriceTable:
+    """Full Theorem 1 price table computed over explicit destination
+    *shards*.
+
+    When *routes* is supplied the merged table references it (the
+    workers recompute trees shard-locally either way -- shipping routes
+    into every worker would cost more than recomputing them).
+    """
+    _check_partition(graph, shards)
+    results = _merged_results(_run_shards(graph, shards, _prices_shard, workers))
+    if routes is None:
+        routes = _merge_routes(graph, results)
+    rows: Dict[Tuple[NodeId, NodeId], PriceRow] = {}
+    for result in results:
+        assert result.rows is not None  # prices shard always fills rows
+        for source in sorted(result.rows):
+            rows[(source, result.destination)] = result.rows[source]
+    table = PriceTable(routes=routes, rows=rows)
+    if sanitize.enabled():
+        sanitize.check_price_table(graph, table)
+    return table
+
+
+class ParallelEngine(Engine):
+    """Multiprocessing batched engine sharding destinations over workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; default ``os.cpu_count()``.  ``1`` runs
+        the shard functions inline (no pool, no serialization) -- the
+        output is identical by construction and by property test.
+    shards_per_worker:
+        Shards created per worker (finer shards balance skewed
+        per-destination work at slightly higher dispatch overhead).
+    """
+
+    name: ClassVar[str] = "parallel"
+    carries_paths: ClassVar[bool] = True
+
+    def __init__(self, workers: Optional[int] = None, shards_per_worker: int = 4) -> None:
+        if workers is not None and workers < 1:
+            raise EngineError(f"worker count must be >= 1, got {workers}")
+        if shards_per_worker < 1:
+            raise EngineError(f"shards per worker must be >= 1, got {shards_per_worker}")
+        self._workers = workers
+        self._shards_per_worker = shards_per_worker
+
+    @property
+    def workers(self) -> int:
+        """The effective worker count."""
+        return self._workers if self._workers is not None else (os.cpu_count() or 1)
+
+    def _shards(self, graph: ASGraph) -> List[Tuple[NodeId, ...]]:
+        return shard_destinations(graph.nodes, self.workers * self._shards_per_worker)
+
+    def all_pairs(self, graph: ASGraph) -> AllPairsRoutes:
+        return all_pairs_sharded(graph, self._shards(graph), workers=self.workers)
+
+    def price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional[AllPairsRoutes] = None,
+    ) -> PriceTable:
+        return price_table_sharded(
+            graph, self._shards(graph), workers=self.workers, routes=routes
+        )

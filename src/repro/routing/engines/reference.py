@@ -1,0 +1,40 @@
+"""The serial pure-Python reference engine.
+
+This is the semantics-defining backend: one destination-rooted
+generalized Dijkstra per destination (:func:`repro.routing.allpairs
+.all_pairs_lcp`) and the per-(destination, k) avoiding sweep of
+:func:`repro.mechanism.vcg.compute_price_table`, all on one core.
+Every other engine is tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from repro.graphs.asgraph import ASGraph
+from repro.routing.engines.base import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.mechanism.vcg import PriceTable
+    from repro.routing.allpairs import AllPairsRoutes
+
+
+class ReferenceEngine(Engine):
+    """Serial pure-Python engine; defines the canonical answers."""
+
+    name: ClassVar[str] = "reference"
+    carries_paths: ClassVar[bool] = True
+
+    def all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
+        from repro.routing.allpairs import all_pairs_lcp
+
+        return all_pairs_lcp(graph)
+
+    def price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+    ) -> "PriceTable":
+        from repro.mechanism.vcg import compute_price_table
+
+        return compute_price_table(graph, routes=routes)

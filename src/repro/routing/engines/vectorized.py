@@ -1,0 +1,51 @@
+"""The scipy-backed cost-only engine.
+
+Wraps :mod:`repro.routing.scipy_engine`: all-pairs costs come from one
+``csgraph`` Dijkstra over the ``w(u -> v) = c_v`` reduction, and prices
+from one vectorized ``G - k`` Dijkstra per distinct transit node
+(:func:`repro.routing.scipy_engine.vcg_price_rows`).  Path *selection*
+still uses the canonical tie-broken routes -- prices are defined
+relative to them -- so :meth:`ScipyEngine.price_table` returns a true
+:class:`~repro.mechanism.vcg.PriceTable`; only the cost arithmetic is
+vectorized, which is where the reference engine spends nearly all of
+its time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+from repro.devtools import sanitize
+from repro.graphs.asgraph import ASGraph
+from repro.routing.engines.base import CostMatrix, Engine
+from repro.routing.scipy_engine import all_pairs_costs, vcg_price_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.mechanism.vcg import PriceTable
+    from repro.routing.allpairs import AllPairsRoutes
+
+
+class ScipyEngine(Engine):
+    """Vectorized cost-only engine for bulk cost/price workloads."""
+
+    name: ClassVar[str] = "scipy"
+    carries_paths: ClassVar[bool] = False
+
+    def cost_matrix(self, graph: ASGraph) -> CostMatrix:
+        matrix, index = all_pairs_costs(graph)
+        return CostMatrix(matrix=matrix, index=index)
+
+    def price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+    ) -> "PriceTable":
+        from repro.mechanism.vcg import PriceTable
+        from repro.routing.allpairs import all_pairs_lcp
+
+        routes = routes or all_pairs_lcp(graph)
+        rows = vcg_price_rows(graph, routes=routes)
+        table = PriceTable(routes=routes, rows=rows)
+        if sanitize.enabled():
+            sanitize.check_price_table(graph, table)
+        return table

@@ -1,0 +1,109 @@
+"""Property tests for the parallel engine's determinism guarantees.
+
+The parallel engine's contract is that parallelism is *invisible*: for
+any biconnected instance, its routes and prices are bit-identical to
+the reference engine's regardless of
+
+* **worker count** (1 runs inline with no pool; 2 and 4 fork real
+  worker processes), and
+* **destination-shard order** (any partition of the destinations, in
+  any order, merges to the same result).
+
+Hypothesis draws random biconnected graphs (Hamiltonian cycle plus
+chords, quantized costs so ties are frequent -- ties are where
+nondeterminism would hide) and random shard permutations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import EngineError
+from repro.graphs.asgraph import ASGraph
+from repro.mechanism.vcg import compute_price_table
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.engines import (
+    ParallelEngine,
+    all_pairs_sharded,
+    price_table_sharded,
+    shard_destinations,
+)
+
+
+@st.composite
+def biconnected_graphs(draw, min_nodes=5, max_nodes=11):
+    n = draw(st.integers(min_nodes, max_nodes))
+    costs = draw(
+        st.lists(
+            st.integers(0, 10).map(lambda v: v / 2.0),
+            min_size=n, max_size=n,
+        )
+    )
+    chord_pool = [(i, j) for i in range(n) for j in range(i + 2, n)
+                  if not (i == 0 and j == n - 1)]
+    chords = draw(st.lists(st.sampled_from(chord_pool), unique=True, max_size=6)) if chord_pool else []
+    edges = [(i, (i + 1) % n) for i in range(n)] + list(chords)
+    return ASGraph(nodes=list(enumerate(costs)), edges=edges)
+
+
+@settings(max_examples=8, deadline=None)
+@given(biconnected_graphs())
+def test_worker_count_invariance(graph):
+    reference = compute_price_table(graph)
+    reference_paths = all_pairs_lcp(graph).paths
+    for workers in (1, 2, 4):
+        engine = ParallelEngine(workers=workers)
+        assert engine.all_pairs(graph).paths == reference_paths, workers
+        assert engine.price_table(graph).rows == reference.rows, workers
+
+
+@settings(max_examples=8, deadline=None)
+@given(biconnected_graphs(), st.randoms(use_true_random=False))
+def test_shard_order_invariance(graph, rng):
+    """Any partition of the destinations, in any order, same answers."""
+    reference = compute_price_table(graph)
+    reference_paths = all_pairs_lcp(graph).paths
+
+    destinations = list(graph.nodes)
+    rng.shuffle(destinations)
+    shard_count = rng.randint(1, len(destinations))
+    shards = shard_destinations(destinations, shard_count)
+    rng.shuffle(shards)
+
+    routes = all_pairs_sharded(graph, shards, workers=2)
+    assert routes.paths == reference_paths
+    table = price_table_sharded(graph, shards, workers=2)
+    assert table.rows == reference.rows
+
+
+def test_shard_destinations_partitions():
+    shards = shard_destinations(list(range(10)), 3)
+    assert sorted(d for shard in shards for d in shard) == list(range(10))
+    assert len(shards) == 3
+
+
+def test_shard_destinations_caps_at_population():
+    shards = shard_destinations([1, 2], 8)
+    assert shards == [(1,), (2,)]
+
+
+def test_sharded_rejects_non_partition(square):
+    with pytest.raises(EngineError):
+        all_pairs_sharded(square, [(0, 1)], workers=1)
+    with pytest.raises(EngineError):
+        price_table_sharded(square, [(0, 1, 2, 3, 3)], workers=1)
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(EngineError):
+        ParallelEngine(workers=0)
+    with pytest.raises(EngineError):
+        ParallelEngine(shards_per_worker=0)
+
+
+def test_default_worker_count_is_cpu_count():
+    import os
+
+    assert ParallelEngine().workers == (os.cpu_count() or 1)
+    assert ParallelEngine(workers=3).workers == 3

@@ -11,9 +11,15 @@ from repro.graphs.generators import (
     isp_like_graph,
     random_biconnected_graph,
 )
+from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
-from repro.routing.scipy_engine import all_pairs_costs, avoiding_costs_matrix
 from repro.routing.avoiding import avoiding_tree
+from repro.routing.scipy_engine import (
+    _directed_weight_matrix,
+    all_pairs_costs,
+    avoiding_costs_matrix,
+    vcg_price_rows,
+)
 
 
 class TestAllPairsCosts:
@@ -92,3 +98,73 @@ class TestAvoidingCostsMatrix:
                 assert matrix[index[source], index[destination]] == pytest.approx(
                     tree.cost(source)
                 )
+
+
+class TestZeroCostExactness:
+    """Regression: ``c_k = 0`` nodes must round-trip *exactly*.
+
+    Zero node costs become stored zeros in the CSR weight matrix; an
+    earlier design nudged them to a tiny positive weight and
+    compensated afterwards, which accumulated error across repeated
+    k-avoiding calls.  These tests pin exact (``==``, no epsilon)
+    behavior end to end.
+    """
+
+    @pytest.fixture
+    def zero_graph(self):
+        """Biconnected ring with free transit on nodes 1 and 3: cost 0
+        beats every alternative, so they sit on many selected LCPs and
+        earn positive VCG premiums when avoided."""
+        return ASGraph(
+            nodes=[(0, 2.0), (1, 0.0), (2, 3.0), (3, 0.0), (4, 5.0), (5, 1.0)],
+            edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+
+    def test_stored_zeros_survive_construction(self, zero_graph):
+        matrix, _costs, _index = _directed_weight_matrix(zero_graph)
+        # two directed entries per undirected edge, zeros included
+        assert matrix.nnz == 2 * zero_graph.num_edges
+        assert (matrix.data == 0.0).sum() > 0
+
+    def test_all_pairs_costs_exact(self, zero_graph):
+        matrix, index = all_pairs_costs(zero_graph)
+        routes = all_pairs_lcp(zero_graph)
+        for (i, j), _path in routes.paths.items():
+            assert matrix[index[i], index[j]] == routes.cost(i, j)
+
+    def test_avoiding_costs_exact_for_zero_k(self, zero_graph):
+        for k in (1, 3):  # the zero-cost nodes themselves
+            matrix, index = avoiding_costs_matrix(zero_graph, k)
+            for destination in zero_graph.nodes:
+                if destination == k:
+                    continue
+                tree = avoiding_tree(zero_graph, destination, k)
+                for source in tree.sources():
+                    assert matrix[index[source], index[destination]] == tree.cost(source)
+
+    def test_repeated_avoiding_calls_do_not_accumulate(self, zero_graph):
+        """The bug shape the nudge had: error compounding across the
+        per-k sweep.  Repeated calls must be bit-identical."""
+        for k in zero_graph.nodes:
+            first, _ = avoiding_costs_matrix(zero_graph, k)
+            second, _ = avoiding_costs_matrix(zero_graph, k)
+            assert np.array_equal(first, second)
+
+    def test_vectorized_prices_exact_with_zero_cost_transit(self, zero_graph):
+        reference = compute_price_table(zero_graph)
+        rows = vcg_price_rows(zero_graph)
+        assert rows == reference.rows
+
+    def test_zero_cost_prices_can_be_positive(self, zero_graph):
+        """A free transit node still earns its VCG premium
+        (``p^k = 0 + Cost(P_-k) - Cost(P) >= 0``), and the vectorized
+        path reports it exactly."""
+        rows = vcg_price_rows(zero_graph)
+        zero_node_prices = [
+            price
+            for row in rows.values()
+            for k, price in row.items()
+            if k in (1, 3)
+        ]
+        assert zero_node_prices, "zero-cost nodes should be transit somewhere"
+        assert any(price > 0 for price in zero_node_prices)
