@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench sanitize-test test-engines
+.PHONY: check lint test bench sanitize-test test-engines trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -29,6 +29,13 @@ test-engines:
 		tests/test_engine_parallel.py \
 		tests/test_engine_registry.py \
 		tests/test_scipy_engine.py
+
+# observability smoke test: record one experiment as a JSONL trace,
+# schema-validate it, and summarize the paper's complexity measures
+trace-smoke:
+	$(PYTHON) -m repro.cli run E1 --trace /tmp/repro-trace-smoke.jsonl
+	$(PYTHON) -m repro.cli trace validate /tmp/repro-trace-smoke.jsonl
+	$(PYTHON) -m repro.cli trace summarize /tmp/repro-trace-smoke.jsonl
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,7 @@ import numpy as np
 from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.engines import get_engine
-from repro.routing.scipy_engine import all_pairs_costs
+from repro.routing.engines.vectorized import all_pairs_costs
 from repro.types import costs_close
 
 

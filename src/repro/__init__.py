@@ -21,13 +21,17 @@ The library implements the paper end to end:
   (:mod:`repro.baselines`), and the experiment harness
   (:mod:`repro.experiments`).
 
+The *stable* import surface is :mod:`repro.api` -- prefer it in
+downstream code; observability (spans, counters, JSONL traces of the
+Section 5 complexity measures) lives in :mod:`repro.obs`.
+
 Quickstart::
 
-    from repro import fig1_graph, compute_price_table, run_distributed_mechanism
+    from repro import api
 
-    graph = fig1_graph()
-    table = compute_price_table(graph)          # centralized Theorem 1
-    result = run_distributed_mechanism(graph)   # BGP-based, Sect. 6
+    graph = api.fig1_graph()
+    table = api.compute_price_table(graph)          # centralized Theorem 1
+    result = api.run_distributed_mechanism(graph)   # BGP-based, Sect. 6
     assert result.price(3, 4, 5) == table.price(3, 4, 5) == 9.0
 """
 

@@ -1,0 +1,59 @@
+"""The stable public API of the ``repro`` library.
+
+Import from here when you want the supported surface and nothing else;
+internal module layout may change between releases, this facade will
+not.  One symbol per concept:
+
+* :class:`ASGraph` -- the AS graph model: nodes with per-packet transit
+  costs, undirected links.
+* :func:`all_pairs_lcp` -- centralized selected lowest-cost paths for
+  all ordered pairs (``engine=``/``sanitize=``/``obs=`` keyword-only).
+* :func:`compute_price_table` -- the centralized Theorem 1 VCG prices
+  (same keyword-only knobs, same order, same defaults).
+* :func:`get_engine` -- instantiate a computation backend from the
+  engine registry by name (``reference`` | ``scipy`` | ``parallel``).
+* :func:`run_distributed_mechanism` -- the paper's contribution: routes
+  *and* prices computed by the BGP-based protocol of Section 6.
+* :func:`verify_against_centralized` -- compare a distributed result
+  with the centralized reference, route by route and price by price.
+* :func:`fig1_graph` -- the paper's Figure 1 worked example.
+* :mod:`obs` -- the observability layer (spans, counters, gauges,
+  trace sinks); off by default with zero overhead.
+
+Quickstart::
+
+    from repro import api
+
+    graph = api.fig1_graph()
+    table = api.compute_price_table(graph)            # Theorem 1
+    result = api.run_distributed_mechanism(graph)     # BGP-based, Sect. 6
+    api.verify_against_centralized(result, table).raise_on_mismatch()
+
+    with api.obs.observed() as observer:              # record a run
+        api.run_distributed_mechanism(graph)
+    observer.counter_total(api.obs.names.MESSAGES)    # paper measure 2
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.protocol import (
+    run_distributed_mechanism,
+    verify_against_centralized,
+)
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import fig1_graph
+from repro.mechanism.vcg import compute_price_table
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.engines import get_engine
+
+__all__ = [
+    "ASGraph",
+    "all_pairs_lcp",
+    "compute_price_table",
+    "fig1_graph",
+    "get_engine",
+    "obs",
+    "run_distributed_mechanism",
+    "verify_against_centralized",
+]

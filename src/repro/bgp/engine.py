@@ -21,10 +21,12 @@ import itertools
 import random
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+import repro.obs as obs_mod
 from repro.bgp.messages import RouteAdvertisement
 from repro.bgp.metrics import ConvergenceReport, StageStats, StateReport
 from repro.bgp.node import BGPNode
 from repro.devtools import sanitize
+from repro.obs import names as metric_names
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.exceptions import ConvergenceError, ProtocolError
 from repro.graphs.asgraph import ASGraph
@@ -100,16 +102,23 @@ class SynchronousEngine:
         policy: Optional[SelectionPolicy] = None,
         node_factory: NodeFactory = _default_factory,
         restart_on_events: bool = True,
+        obs: Optional[obs_mod.Obs] = None,
     ) -> None:
         self.graph = graph
         self.policy = policy or LowestCostPolicy()
         # Ablation knob (E15): disable the Sect. 6 restart-on-change
         # semantics to demonstrate why they are necessary.
         self.restart_on_events = restart_on_events
+        # Explicit observer (None: report to the global default iff
+        # observability is enabled -- see repro.obs.active()).
+        self._obs = obs
         self.nodes: Dict[NodeId, BGPNode] = {
             node_id: node_factory(node_id, graph.cost(node_id), self.policy)
             for node_id in graph.nodes
         }
+        if obs is not None:
+            for node in self.nodes.values():
+                node.obs = obs
         # The engine owns a mutable adjacency so that link dynamics do
         # not require rebuilding node state.
         self.adjacency: Dict[NodeId, Set[NodeId]] = {
@@ -143,7 +152,26 @@ class SynchronousEngine:
         self.stage_count = 0
 
     def step(self) -> StageStats:
-        """Run one synchronous stage; returns its accounting."""
+        """Run one synchronous stage; returns its accounting.
+
+        When an observer is active the stage runs under a
+        ``bgp.stage`` span and its accounting is emitted as the
+        Sect. 5 counters (``bgp.messages``, ``bgp.entries_sent``) and
+        the per-stage ``bgp.stage.nodes_changed`` gauge.
+        """
+        observer = obs_mod.active(self._obs)
+        if observer is None:
+            return self._step()
+        with observer.span(metric_names.SPAN_STAGE, stage=self.stage_count + 1):
+            stats = self._step()
+        observer.count(metric_names.MESSAGES, stats.messages, type="table")
+        observer.count(metric_names.ENTRIES_SENT, stats.entries_sent)
+        observer.gauge(
+            metric_names.STAGE_NODES_CHANGED, stats.nodes_changed, stage=stats.stage
+        )
+        return stats
+
+    def _step(self) -> StageStats:
         if not self._initialized:
             raise ProtocolError("engine not initialized; call initialize() first")
         self.stage_count += 1
@@ -188,7 +216,40 @@ class SynchronousEngine:
         The default stage budget is generous (``4n + 16``); exceeding it
         raises :class:`ConvergenceError`, which for this protocol would
         indicate an implementation bug, not a protocol property.
+
+        When an observer is active the run executes under a
+        ``bgp.sync.run`` span and finishes by emitting the report's
+        stage count (``bgp.stages``) and the per-node table-state
+        gauges -- exactly the :class:`ConvergenceReport` /
+        :class:`StateReport` numbers, so a recorded trace reproduces
+        them bit-for-bit.
         """
+        observer = obs_mod.active(self._obs)
+        if observer is None:
+            return self._run(max_stages)
+        with observer.span(metric_names.SPAN_SYNC_RUN):
+            report = self._run(max_stages)
+        observer.count(metric_names.STAGES, report.stages)
+        state = self.state_report()
+        for node_id in sorted(state.loc_rib_entries):
+            observer.gauge(
+                metric_names.LOC_RIB_ENTRIES,
+                state.loc_rib_entries[node_id],
+                node=node_id,
+            )
+            observer.gauge(
+                metric_names.ADJ_RIB_IN_ENTRIES,
+                state.adj_rib_in_entries[node_id],
+                node=node_id,
+            )
+            observer.gauge(
+                metric_names.PRICE_ENTRIES,
+                state.price_entries[node_id],
+                node=node_id,
+            )
+        return report
+
+    def _run(self, max_stages: Optional[int] = None) -> ConvergenceReport:
         if not self._initialized:
             self.initialize()
         limit = max_stages if max_stages is not None else 4 * self.graph.num_nodes + 16
@@ -362,11 +423,13 @@ class AsynchronousEngine:
         min_delay: float = 0.1,
         max_delay: float = 1.0,
         fifo_links: bool = True,
+        obs: Optional[obs_mod.Obs] = None,
     ) -> None:
         if not 0 < min_delay <= max_delay:
             raise ProtocolError(
                 f"invalid delay range [{min_delay}, {max_delay}]"
             )
+        self._obs = obs
         # Ablation knob (E15): drop the per-link FIFO guarantee to show
         # that reordered tables (impossible over TCP) corrupt state.
         self.fifo_links = fifo_links
@@ -376,6 +439,9 @@ class AsynchronousEngine:
             node_id: node_factory(node_id, graph.cost(node_id), self.policy)
             for node_id in graph.nodes
         }
+        if obs is not None:
+            for node in self.nodes.values():
+                node.obs = obs
         self._rng = random.Random(seed)
         self._min_delay = min_delay
         self._max_delay = max_delay
@@ -411,6 +477,25 @@ class AsynchronousEngine:
             )
 
     def run(self, max_deliveries: Optional[int] = None) -> ConvergenceReport:
+        """Drain the event queue; returns the delivery accounting.
+
+        When an observer is active the drain runs under a
+        ``bgp.async.run`` span and the deliveries this call performed
+        are emitted as ``bgp.deliveries`` and as ``bgp.messages`` with
+        ``type=async``.
+        """
+        observer = obs_mod.active(self._obs)
+        if observer is None:
+            return self._run(max_deliveries)
+        deliveries_before = self.deliveries
+        with observer.span(metric_names.SPAN_ASYNC_RUN):
+            report = self._run(max_deliveries)
+        delivered = self.deliveries - deliveries_before
+        observer.count(metric_names.DELIVERIES, delivered)
+        observer.count(metric_names.MESSAGES, delivered, type="async")
+        return report
+
+    def _run(self, max_deliveries: Optional[int] = None) -> ConvergenceReport:
         if not self._queue and not self._published:
             self.initialize()
         limit = max_deliveries if max_deliveries is not None else 200 * self.graph.num_nodes ** 2

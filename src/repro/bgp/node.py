@@ -21,10 +21,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+import repro.obs as obs_mod
 from repro.bgp.messages import RouteAdvertisement
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.bgp.table import AdjRIBIn, RouteEntry
 from repro.exceptions import ProtocolError
+from repro.obs import names as metric_names
 from repro.types import Cost, NodeId, validate_cost
 
 
@@ -35,6 +37,10 @@ class BGPNode:
     #: full protocol restart (Sect. 6's "convergence begins again").
     #: Plain BGP reconverges warm; price-computing nodes override this.
     RESTART_ON_EVENT = False
+
+    #: Explicit observer, set by the owning engine when it was itself
+    #: constructed with one; None defers to the global toggle.
+    obs: Optional[obs_mod.Obs] = None
 
     def __init__(
         self,
@@ -60,6 +66,9 @@ class BGPNode:
         adverts: Iterable[RouteAdvertisement],
     ) -> None:
         """Store a full-table exchange from *neighbor*."""
+        observer = obs_mod.active(self.obs)
+        if observer is not None:
+            observer.count(metric_names.MESSAGES_RECEIVED, node=self.node_id)
         table: Dict[NodeId, RouteAdvertisement] = {}
         for advert in adverts:
             if advert.sender != neighbor:

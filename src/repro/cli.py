@@ -1,28 +1,34 @@
-"""Command-line entry point: ``repro-experiments``.
+"""Command-line entry point: ``repro-cli`` (alias ``repro-experiments``).
 
 Subcommands::
 
-    repro-experiments list                    # show experiment ids
-    repro-experiments engines                 # show registered engines
-    repro-experiments run E5 [--scale full] [--engine parallel]
-    repro-experiments all [--scale full] [--write-md EXPERIMENTS.md]
+    repro-cli list                          # show experiment ids
+    repro-cli engines                       # show registered engines
+    repro-cli run E5 [--scale full] [--engine parallel] [--trace out.jsonl]
+    repro-cli all [--scale full] [--write-md EXPERIMENTS.md] [--trace out.jsonl]
+    repro-cli trace summarize out.jsonl     # paper measures from a trace
+    repro-cli trace validate out.jsonl      # schema-check a trace file
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
+import repro.obs as obs_mod
+from repro.exceptions import TraceError
 from repro.experiments.registry import list_experiments
 from repro.experiments.runner import run_all, run_experiment, write_experiments_md
+from repro.obs.trace import summarize_trace, summary_tables, validate_trace
 from repro.routing.engines import engine_names, get_engine
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-experiments",
+        prog="repro-cli",
         description=(
             "Reproduction harness for 'A BGP-based mechanism for "
             "lowest-cost routing' (PODC 2002)"
@@ -40,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
         "route/price engine for engine-aware experiments "
         f"({' | '.join(engine_names())}; default: reference)"
     )
+    trace_help = (
+        "record an observability trace of the run as JSONL "
+        "(read it back with `trace summarize`)"
+    )
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", help="e.g. E5")
@@ -48,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--engine", choices=engine_names(), default=None, help=engine_help
     )
+    run_parser.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", choices=("small", "full"), default="small")
@@ -61,7 +72,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as markdown (EXPERIMENTS.md format)",
     )
+    all_parser.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a recorded observability trace"
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("summarize", "validate"),
+        help="summarize: paper complexity measures; validate: schema check",
+    )
+    trace_parser.add_argument("path", metavar="TRACE.jsonl", help="trace file to read")
     return parser
+
+
+@contextmanager
+def _tracing(trace_path: Optional[str]) -> Iterator[None]:
+    """Record the enclosed run to ``trace_path`` (no-op when ``None``).
+
+    Swaps in a fresh default observer so the trace holds exactly one
+    run, attaches a :class:`~repro.obs.sinks.JSONLSink`, and enables
+    global observability for the duration.
+    """
+    if trace_path is None:
+        yield
+        return
+    observer = obs_mod.reset_default()
+    sink = obs_mod.JSONLSink(trace_path)
+    observer.add_sink(sink)
+    try:
+        with obs_mod.observed():
+            yield
+    finally:
+        observer.remove_sink(sink)
+        sink.close()
+    print(f"wrote trace {trace_path}")
+
+
+def _trace_command(action: str, path: str) -> int:
+    try:
+        if action == "validate":
+            count = validate_trace(path)
+            print(f"{path}: valid trace, {count} events")
+            return 0
+        for table in summary_tables(summarize_trace(path), title=f"trace: {path}"):
+            print(table.render())
+            print()
+        return 0
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,17 +136,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             paths = "paths" if engine.carries_paths else "cost-only"
             print(f"{name:10s} {paths}")
         return 0
+    if args.command == "trace":
+        return _trace_command(args.action, args.path)
     engine_kwargs: Dict[str, Any] = {}
     if getattr(args, "engine", None) is not None:
         engine_kwargs["engine"] = args.engine
     if args.command == "run":
-        result = run_experiment(
-            args.experiment_id, scale=args.scale, seed=args.seed, **engine_kwargs
-        )
+        with _tracing(args.trace):
+            result = run_experiment(
+                args.experiment_id, scale=args.scale, seed=args.seed, **engine_kwargs
+            )
         print(result.render())
         return 0 if result.passed else 1
     if args.command == "all":
-        results = run_all(scale=args.scale, seed=args.seed, **engine_kwargs)
+        with _tracing(args.trace):
+            results = run_all(scale=args.scale, seed=args.seed, **engine_kwargs)
         for result in results:
             print(result.render())
             print()

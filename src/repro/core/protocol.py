@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+import repro.obs as obs_mod
 from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
 from repro.devtools import sanitize
 from repro.bgp.metrics import ConvergenceReport
@@ -122,8 +123,15 @@ def run_distributed_mechanism(
     asynchronous: bool = False,
     seed: int = 0,
     max_stages: Optional[int] = None,
+    obs: Optional[obs_mod.Obs] = None,
 ) -> DistributedPriceResult:
-    """Run the full FPSS protocol (routes + prices) to quiescence."""
+    """Run the full FPSS protocol (routes + prices) to quiescence.
+
+    *obs* names an explicit :class:`repro.obs.Obs` observer, forwarded
+    to the protocol engine so the run's stage/message/table metrics are
+    recorded; ``None`` reports to the global default observer iff
+    observability is enabled.
+    """
     policy = policy or LowestCostPolicy()
     if sanitize.enabled():
         # Theorem 1 precondition: without biconnectivity some k-avoiding
@@ -137,12 +145,12 @@ def run_distributed_mechanism(
     engine: Union[SynchronousEngine, AsynchronousEngine]
     if asynchronous:
         engine = AsynchronousEngine(
-            graph, policy=policy, node_factory=factory, seed=seed
+            graph, policy=policy, node_factory=factory, seed=seed, obs=obs
         )
         engine.initialize()
         report = engine.run()
     else:
-        engine = SynchronousEngine(graph, policy=policy, node_factory=factory)
+        engine = SynchronousEngine(graph, policy=policy, node_factory=factory, obs=obs)
         engine.initialize()
         report = engine.run(max_stages=max_stages)
     if sanitize.enabled():

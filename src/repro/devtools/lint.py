@@ -32,6 +32,15 @@ paper's correctness results depend on:
     ``graphs/generators.py`` (which threads seeds into samplers) is
     exempt from the numpy aliasing restriction; it too must seed.
 
+``RPR005`` -- **no wall-clock reads in protocol/engine code.**  Inside
+    ``bgp/``, ``core/``, ``routing/``, ``mechanism/``, and ``obs/``,
+    ``time.time()`` (and friends: ``time_ns``, ``ctime``, ``gmtime``,
+    ``localtime``) reads a clock that NTP can step backwards, so
+    durations computed from it can be negative and recorded traces
+    stop being comparable across hosts.  Timing must use the monotonic
+    ``time.perf_counter()`` / ``time.monotonic()`` family, which is
+    what :mod:`repro.obs` stamps events with.
+
 A finding on a given line is suppressed by a trailing
 ``# repro-lint: ok`` comment, optionally scoped to codes:
 ``# repro-lint: ok(RPR001)``.  Suppressions are deliberate escape
@@ -58,7 +67,7 @@ __all__ = [
     "ALL_CODES",
 ]
 
-ALL_CODES: Tuple[str, ...] = ("RPR001", "RPR002", "RPR003", "RPR004")
+ALL_CODES: Tuple[str, ...] = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
 
 #: Identifier tokens treated as "cost-like" by RPR001.
 _COST_TOKEN = re.compile(
@@ -79,6 +88,13 @@ _MUTATION_SCOPE = ("bgp/", "core/")
 
 #: Protocol hot paths requiring deterministic iteration.
 _DETERMINISM_SCOPE = ("bgp/", "core/", "routing/", "mechanism/")
+
+#: Subtrees where timing must be monotonic (RPR005): the protocol and
+#: engine core plus the observability layer that timestamps it.
+_WALLCLOCK_SCOPE = ("bgp/", "core/", "routing/", "mechanism/", "obs/")
+
+#: ``time``-module functions that read the wall clock.
+_WALLCLOCK_FUNCS = frozenset({"time", "time_ns", "ctime", "gmtime", "localtime"})
 
 _MUTATOR_METHODS = frozenset(
     {
@@ -221,6 +237,10 @@ class _RuleVisitor(ast.NodeVisitor):
         self._numpy_aliases: Set[str] = set()
         self._numpy_random_aliases: Set[str] = set()
         self._from_random_names: Set[str] = set()
+        # RPR005: aliases under which the time module is visible, and
+        # wall-clock functions imported from it by name.
+        self._time_aliases: Set[str] = set()
+        self._from_time_names: Set[str] = set()
 
     # -- helpers -----------------------------------------------------
 
@@ -266,6 +286,8 @@ class _RuleVisitor(ast.NodeVisitor):
             bound = alias.asname or alias.name.split(".")[0]
             if alias.name == "random":
                 self._random_aliases.add(bound)
+            elif alias.name == "time":
+                self._time_aliases.add(bound)
             elif alias.name == "numpy":
                 self._numpy_aliases.add(bound)
             elif alias.name == "numpy.random":
@@ -280,6 +302,10 @@ class _RuleVisitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _RANDOM_FUNCS:
                     self._from_random_names.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_FUNCS:
+                    self._from_time_names.add(alias.asname or alias.name)
         elif node.module == "numpy":
             for alias in node.names:
                 if alias.name == "random":
@@ -362,6 +388,7 @@ class _RuleVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_mutator_call(node)
         self._check_random_call(node)
+        self._check_wallclock_call(node)
         self.generic_visit(node)
 
     def _check_mutator_call(self, node: ast.Call) -> None:
@@ -486,6 +513,34 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"'numpy.random.{np_random_attr}' draws from numpy's "
                     "global state; use numpy.random.default_rng(seed)",
                 )
+
+    # -- RPR005 ------------------------------------------------------
+
+    def _check_wallclock_call(self, node: ast.Call) -> None:
+        if not self._in_scope(_WALLCLOCK_SCOPE):
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+            and func.attr in _WALLCLOCK_FUNCS
+        ):
+            self._emit(
+                node,
+                "RPR005",
+                f"'{func.value.id}.{func.attr}()' reads the wall clock in "
+                "protocol/engine code; use time.perf_counter() / "
+                "time.monotonic() so durations cannot go backwards",
+            )
+        elif isinstance(func, ast.Name) and func.id in self._from_time_names:
+            self._emit(
+                node,
+                "RPR005",
+                f"'{func.id}()' imported from time reads the wall clock in "
+                "protocol/engine code; use time.perf_counter() / "
+                "time.monotonic() so durations cannot go backwards",
+            )
 
 
 def _suppressed_lines(source: str) -> Dict[int, Optional[Set[str]]]:

@@ -95,6 +95,12 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class TraceError(ReproError):
+    """A recorded observability trace (:mod:`repro.obs.trace`) is
+    malformed: missing/bad meta line, invalid JSON, unknown event kind,
+    or events missing required fields for their kind."""
+
+
 class SanitizerError(ReproError):
     """A runtime invariant check (:mod:`repro.devtools.sanitize`) failed.
 

@@ -15,9 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, ItemsView, Iterator, Mapping, Optional, Tuple
 
-from repro.devtools import sanitize
+import repro.obs as obs_mod
+from repro.devtools import sanitize as sanitize_checks
 from repro.exceptions import MechanismError, NotBiconnectedError
 from repro.graphs.asgraph import ASGraph
+from repro.obs import names as metric_names
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp
 from repro.routing.avoiding import avoiding_costs_for_destination, avoiding_tree
 from repro.types import Cost, NodeId, is_zero_cost
@@ -102,7 +104,10 @@ def vcg_price(
 def compute_price_table(
     graph: ASGraph,
     routes: Optional[AllPairsRoutes] = None,
+    *,
     engine: Optional["EngineSpec"] = None,
+    sanitize: Optional[bool] = None,
+    obs: Optional[obs_mod.Obs] = None,
 ) -> PriceTable:
     """All-pairs VCG prices, batched per (destination, k).
 
@@ -111,18 +116,65 @@ def compute_price_table(
     rooted at ``j`` provides ``Cost(P_{-k}(c; i, j))`` for every source
     ``i`` simultaneously.
 
-    *engine* selects a registered backend by name (or instance) from
+    Keyword-only knobs (same names, order, and defaults as
+    :func:`repro.routing.allpairs.all_pairs_lcp`):
+
+    *engine* selects a registered backend by name or instance from
     :mod:`repro.routing.engines` -- ``"scipy"`` vectorizes the avoiding
     sweep, ``"parallel"`` shards destinations over worker processes.
     The default (``None`` or ``"reference"``) is the serial reference
     loop below; every engine returns identical tables per the
     differential test harness.
+
+    *sanitize* overrides the global sanitizer toggle for this call:
+    ``True`` forces :func:`repro.devtools.sanitize.check_price_table`
+    on the result, ``False`` skips it, ``None`` (default) follows the
+    global toggle.
+
+    *obs* names an explicit :class:`repro.obs.Obs` observer; ``None``
+    reports to the global default observer iff observability is
+    enabled.  Observed runs execute under a ``mechanism.price_table``
+    span and count ``mechanism.price_rows`` throughput.
     """
+    check = sanitize_checks.enabled() if sanitize is None else bool(sanitize)
+    observer = obs_mod.active(obs)
     if engine is not None and engine != "reference":
         from repro.routing.engines import resolve_engine
 
-        return resolve_engine(engine).price_table(graph, routes=routes)
-    routes = routes or all_pairs_lcp(graph)
+        resolved = resolve_engine(engine)
+        if observer is None:
+            table = resolved.price_table(graph, routes=routes, obs=obs)
+        else:
+            with observer.span(
+                metric_names.SPAN_PRICE_TABLE, engine=resolved.name
+            ):
+                table = resolved.price_table(graph, routes=routes, obs=obs)
+        # Engines self-check under the global toggle; honor a forced
+        # sanitize=True without double-checking the common case.
+        if check and not sanitize_checks.enabled():
+            sanitize_checks.check_price_table(graph, table)
+        return table
+    if observer is None:
+        table = _price_table_reference(graph, routes, obs=obs)
+    else:
+        with observer.span(metric_names.SPAN_PRICE_TABLE, engine="reference"):
+            table = _price_table_reference(graph, routes, obs=obs)
+        observer.count(
+            metric_names.PRICE_ROWS, len(table.rows), engine="reference"
+        )
+    if check:
+        sanitize_checks.check_price_table(graph, table)
+    return table
+
+
+def _price_table_reference(
+    graph: ASGraph,
+    routes: Optional[AllPairsRoutes],
+    obs: Optional[obs_mod.Obs] = None,
+) -> PriceTable:
+    """The serial semantics-defining Theorem 1 sweep."""
+    if routes is None:
+        routes = all_pairs_lcp(graph, obs=obs)
     rows: Dict[PairKey, PriceRow] = {}
     for destination in graph.nodes:
         tree = routes.tree(destination)
@@ -150,10 +202,7 @@ def compute_price_table(
                     )
                 row[k] = price
             rows[(source, destination)] = row
-    table = PriceTable(routes=routes, rows=rows)
-    if sanitize.enabled():
-        sanitize.check_price_table(graph, table)
-    return table
+    return PriceTable(routes=routes, rows=rows)
 
 
 def payments(

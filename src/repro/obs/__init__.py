@@ -1,0 +1,158 @@
+"""``repro.obs`` -- zero-dependency observability for the BGP/VCG core.
+
+The paper's Section 5 measures a BGP-based computation in three
+currencies -- stages to convergence, messages sent, and per-node
+routing-table state.  This package records all three (plus engine-level
+metrics) from the instrumented hot paths, so a recorded trace of a run
+reproduces the complexity claims without bespoke per-experiment code.
+
+Like :mod:`repro.devtools.sanitize`, observability is **off by default
+with true zero overhead**: every instrumented hot path asks
+:func:`active` for an observer and receives ``None`` unless (a) the
+caller passed an explicit :class:`Obs` instance, or (b) the global
+toggle is on.  While off, no event is constructed and no sink is called.
+
+Enable globally with :func:`enable` / the ``REPRO_OBS=1`` environment
+variable / the :func:`observed` context manager, or pass an explicit
+``obs=Obs(...)`` to any instrumented entry point::
+
+    from repro import obs
+
+    observer = obs.Obs(sinks=[obs.MemorySink()])
+    table = compute_price_table(graph, obs=observer)
+    observer.counter_total(obs.names.MESSAGES)   # paper measure 2
+
+    with obs.observed():                          # global, default Obs
+        run_distributed_mechanism(graph)
+    obs.default().counter_total(obs.names.STAGES)
+
+Traces (``JSONLSink``) are summarized by :func:`repro.obs.trace.summarize_trace`
+and the ``trace summarize`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import names
+from repro.obs.core import NULL_SPAN, Obs, Span, _NullSpan
+from repro.obs.sinks import (
+    TRACE_VERSION,
+    JSONLSink,
+    MemorySink,
+    Sink,
+    SummarySink,
+)
+
+__all__ = [
+    "Obs",
+    "Span",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "SummarySink",
+    "TRACE_VERSION",
+    "names",
+    "enabled",
+    "enable",
+    "disable",
+    "observed",
+    "active",
+    "default",
+    "reset_default",
+    "span",
+    "count",
+    "gauge",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled: bool = os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+_default: Obs = Obs()
+
+
+def enabled() -> bool:
+    """Is global observability currently on?"""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn global observability on (hot paths report to :func:`default`)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn global observability off (zero overhead restored)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def observed(on: bool = True) -> Iterator[Obs]:
+    """Temporarily enable (or disable) global observability.
+
+    Yields the default :class:`Obs` instance so callers can attach a
+    sink and read aggregates afterwards.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield _default
+    finally:
+        _enabled = previous
+
+
+def default() -> Obs:
+    """The process-wide default observer used when globally enabled."""
+    return _default
+
+
+def reset_default() -> Obs:
+    """Replace the default observer with a fresh one (tests/CLI runs)."""
+    global _default
+    _default = Obs()
+    return _default
+
+
+def active(obs: Optional[Obs] = None) -> Optional[Obs]:
+    """Resolve the observer a hot path should report to, or ``None``.
+
+    This is the single predicate every instrumented hot path calls:
+    an explicitly passed observer always wins; otherwise the default
+    observer is returned only while globally enabled.  A ``None`` return
+    is the zero-overhead fast path -- the caller must emit nothing.
+    """
+    if obs is not None:
+        return obs
+    if _enabled:
+        return _default
+    return None
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences delegating to the default observer.  These
+# are for scripts and the CLI; hot paths use ``active()`` + instance
+# methods so an explicit ``obs=`` argument is honored.
+# ----------------------------------------------------------------------
+def span(name: str, **labels: object) -> "Span | _NullSpan":
+    """A span on the default observer; no-op while disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return _default.span(name, **labels)
+
+
+def count(name: str, value: float = 1, **labels: object) -> None:
+    """Increment a counter on the default observer; no-op while disabled."""
+    if _enabled:
+        _default.count(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge on the default observer; no-op while disabled."""
+    if _enabled:
+        _default.gauge(name, value, **labels)

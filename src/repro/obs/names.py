@@ -1,0 +1,63 @@
+"""Canonical metric names: the paper's complexity measures, spelled out.
+
+Section 5 of the paper measures BGP-based computation in three
+currencies; every instrumented hot path emits them under the stable
+names below so that a recorded trace -- not bespoke per-experiment code
+-- reproduces the complexity claims:
+
+=========================  =======  =============================================
+metric                     kind     paper measure
+=========================  =======  =============================================
+``bgp.stages``             counter  stages to convergence (Theorem 2 ``max(d, d')``)
+``bgp.stage.nodes_changed`` gauge   per-stage change accounting (label ``stage``)
+``bgp.messages``           counter  total communication, by ``type`` label
+``bgp.messages.received``  counter  receiver-side message accounting
+``bgp.entries_sent``       counter  communication volume in table entries
+``bgp.deliveries``         counter  asynchronous-engine deliveries
+``bgp.node.loc_rib_entries``    gauge  per-node routing-table state (``O(nd)``)
+``bgp.node.adj_rib_in_entries`` gauge  per-node Adj-RIB-In state
+``bgp.node.price_entries``      gauge  per-node price-array state
+=========================  =======  =============================================
+
+Engine-level metrics (the ROADMAP's production-scaling story):
+
+``engine.workers`` / ``engine.shards`` / ``engine.shard.size`` gauge the
+parallel engine's sharding (shard-size balance is the worker-utilization
+proxy: round-robin shards of near-equal size keep every worker busy),
+and ``mechanism.price_rows`` counts price-row throughput per engine.
+
+Span names (``obs.span``) cover the end-to-end pipeline:
+``bgp.stage``, ``bgp.sync.run``, ``bgp.async.run``,
+``routing.all_pairs``, ``mechanism.price_table``,
+``engine.all_pairs``, ``engine.price_table``, ``experiment.run``.
+"""
+
+from __future__ import annotations
+
+# -- paper complexity measures (Sect. 5) -------------------------------
+STAGES = "bgp.stages"
+STAGE_NODES_CHANGED = "bgp.stage.nodes_changed"
+MESSAGES = "bgp.messages"
+MESSAGES_RECEIVED = "bgp.messages.received"
+ENTRIES_SENT = "bgp.entries_sent"
+DELIVERIES = "bgp.deliveries"
+LOC_RIB_ENTRIES = "bgp.node.loc_rib_entries"
+ADJ_RIB_IN_ENTRIES = "bgp.node.adj_rib_in_entries"
+PRICE_ENTRIES = "bgp.node.price_entries"
+
+# -- engine-level metrics ----------------------------------------------
+ENGINE_WORKERS = "engine.workers"
+ENGINE_SHARDS = "engine.shards"
+ENGINE_SHARD_SIZE = "engine.shard.size"
+PRICE_ROWS = "mechanism.price_rows"
+ROUTE_TREES = "routing.route_trees"
+
+# -- span names --------------------------------------------------------
+SPAN_STAGE = "bgp.stage"
+SPAN_SYNC_RUN = "bgp.sync.run"
+SPAN_ASYNC_RUN = "bgp.async.run"
+SPAN_ALL_PAIRS = "routing.all_pairs"
+SPAN_PRICE_TABLE = "mechanism.price_table"
+SPAN_ENGINE_ALL_PAIRS = "engine.all_pairs"
+SPAN_ENGINE_PRICE_TABLE = "engine.price_table"
+SPAN_EXPERIMENT = "experiment.run"

@@ -1,0 +1,178 @@
+"""Pluggable event sinks for the observability layer.
+
+A sink receives every emitted event as a plain dict (see
+:mod:`repro.obs.core` for the event schema).  Three sinks ship with the
+library:
+
+* :class:`MemorySink` -- append-only in-memory list, for tests;
+* :class:`JSONLSink` -- one JSON object per line in a trace file, the
+  format ``repro-experiments trace summarize`` consumes;
+* :class:`SummarySink` -- aggregate-only (no per-event storage), whose
+  :meth:`SummarySink.render` prints a human-readable counter/span table.
+
+Sinks must never raise from :meth:`Sink.emit`: observability failures
+must not alter protocol outcomes.  The dispatcher in
+:class:`repro.obs.core.Obs` does not guard against sink exceptions, so
+sinks are expected to be total.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+#: The JSONL trace format version written by :class:`JSONLSink` and
+#: checked by :func:`repro.obs.trace.validate_trace`.
+TRACE_VERSION = 1
+
+Event = Dict[str, Any]
+
+
+class Sink:
+    """Base class for event sinks; subclasses override :meth:`emit`."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; default: nothing to release."""
+
+
+class MemorySink(Sink):
+    """Records every event in order; the test-suite sink."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def named(self, name: str) -> List[Event]:
+        """All recorded events carrying metric/span name *name*."""
+        return [event for event in self.events if event.get("name") == name]
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All recorded events of one kind (``span``/``counter``/``gauge``)."""
+        return [event for event in self.events if event.get("event") == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JSONLSink(Sink):
+    """Streams events to a JSON-Lines trace file.
+
+    The first line is a ``meta`` record identifying the trace version
+    and clock; every subsequent line is one event.  Timestamps are
+    seconds on the emitting :class:`~repro.obs.core.Obs` instance's
+    monotonic clock, relative to that instance's creation -- wall-clock
+    time never enters the trace, so traces are diffable across runs.
+    """
+
+    def __init__(self, path_or_file: Union[str, "io.TextIOBase", Any]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self._write(
+            {"event": "meta", "version": TRACE_VERSION, "clock": "monotonic"}
+        )
+
+    def _write(self, event: Mapping[str, Any]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
+        self._fh.write("\n")
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._write(event)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SummarySink(Sink):
+    """Aggregates counters, gauges, and span timings without storing
+    individual events; :meth:`render` prints the human-readable table."""
+
+    def __init__(self) -> None:
+        #: (name, labels) -> accumulated counter value
+        self.counters: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], float] = {}
+        #: (name, labels) -> last gauge value
+        self.gauges: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], float] = {}
+        #: span name -> [count, total seconds]
+        self.spans: Dict[str, List[float]] = {}
+
+    @staticmethod
+    def _key(event: Mapping[str, Any]) -> Tuple[str, Tuple[Tuple[str, Any], ...]]:
+        labels = event.get("labels") or {}
+        return str(event["name"]), tuple(sorted(labels.items()))
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        kind = event.get("event")
+        if kind == "counter":
+            key = self._key(event)
+            self.counters[key] = self.counters.get(key, 0.0) + float(event["value"])
+        elif kind == "gauge":
+            self.gauges[self._key(event)] = float(event["value"])
+        elif kind == "span":
+            stats = self.spans.setdefault(str(event["name"]), [0, 0.0])
+            stats[0] += 1
+            stats[1] += float(event["dur"])
+
+    def counter_total(self, name: str, **labels: Any) -> float:
+        """Aggregate of one counter across emitted events."""
+        wanted = tuple(sorted(labels.items()))
+        total = 0.0
+        for (event_name, event_labels), value in sorted(self.counters.items()):
+            if event_name != name:
+                continue
+            if labels and event_labels != wanted:
+                continue
+            total += value
+        return total
+
+    def render(self, title: Optional[str] = None) -> str:
+        """The human-readable summary table (counters, gauges, spans)."""
+        lines = [title or "observability summary", "-" * (len(title or "observability summary"))]
+        if self.counters:
+            lines.append("counters:")
+            for (name, labels), value in sorted(self.counters.items()):
+                suffix = _render_labels(labels)
+                lines.append(f"  {name}{suffix} = {_render_value(value)}")
+        if self.gauges:
+            lines.append("gauges:")
+            for (name, labels), value in sorted(self.gauges.items()):
+                suffix = _render_labels(labels)
+                lines.append(f"  {name}{suffix} = {_render_value(value)}")
+        if self.spans:
+            lines.append("spans:")
+            for name, (count, total) in sorted(self.spans.items()):
+                lines.append(f"  {name}: n={int(count)} total={total:.6f}s")
+        if len(lines) == 2:
+            lines.append("(no events)")
+        return "\n".join(lines)
+
+
+def _render_labels(labels: Tuple[Tuple[str, Any], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _render_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"

@@ -19,12 +19,13 @@ Key modules:
 * :mod:`repro.routing.allpairs` -- all-pairs routes (n trees).
 * :mod:`repro.routing.avoiding` -- lowest-cost k-avoiding paths, the
   second ingredient of the VCG price.
-* :mod:`repro.routing.scipy_engine` -- vectorized cost-only engine for
-  large instances.
 * :mod:`repro.routing.engines` -- the unified engine registry
   (``reference`` | ``scipy`` | ``parallel``) behind the ``engine=``
   parameter of :func:`all_pairs_lcp` and
-  :func:`repro.mechanism.vcg.compute_price_table`.
+  :func:`repro.mechanism.vcg.compute_price_table`; the vectorized
+  cost-only entry points live in
+  :mod:`repro.routing.engines.vectorized` (``repro.routing.
+  scipy_engine`` is a deprecated shim for them).
 """
 
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp

@@ -9,8 +9,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
+import repro.obs as obs_mod
+from repro.devtools import sanitize as sanitize_checks
 from repro.exceptions import DisconnectedGraphError
 from repro.graphs.asgraph import ASGraph
+from repro.obs import names as metric_names
 from repro.routing.dijkstra import RouteTree, route_tree
 from repro.types import Cost, NodeId, PathTuple
 
@@ -72,22 +75,60 @@ class AllPairsRoutes:
 
 def all_pairs_lcp(
     graph: ASGraph,
+    *,
     engine: Optional["EngineSpec"] = None,
+    sanitize: Optional[bool] = None,
+    obs: Optional[obs_mod.Obs] = None,
 ) -> AllPairsRoutes:
     """Compute selected LCPs for all ordered pairs.
 
     Raises :class:`DisconnectedGraphError` if any pair is unreachable;
     the paper's model assumes (at least) connectivity.
 
-    *engine* selects a registered backend by name (or instance) from
+    Keyword-only knobs (same names, order, and defaults as
+    :func:`repro.mechanism.vcg.compute_price_table`):
+
+    *engine* selects a registered backend by name or instance from
     :mod:`repro.routing.engines`; the default (``None`` or
     ``"reference"``) is the serial pure-Python reference path below.
     Cost-only engines raise :class:`~repro.exceptions.EngineError`.
+
+    *sanitize* overrides the global sanitizer toggle for this call:
+    ``True`` re-verifies every selected route against a fresh Dijkstra
+    (:func:`repro.devtools.sanitize.check_lcp`), ``False`` skips the
+    check, ``None`` (default) follows the global toggle.
+
+    *obs* names an explicit :class:`repro.obs.Obs` observer; ``None``
+    reports to the global default observer iff observability is
+    enabled.  Observed runs execute under a ``routing.all_pairs`` span
+    and count ``routing.route_trees``.
     """
+    check = sanitize_checks.enabled() if sanitize is None else bool(sanitize)
+    observer = obs_mod.active(obs)
     if engine is not None and engine != "reference":
         from repro.routing.engines import resolve_engine
 
-        return resolve_engine(engine).all_pairs(graph)
+        resolved = resolve_engine(engine)
+        if observer is None:
+            routes = resolved.all_pairs(graph, obs=obs)
+        else:
+            with observer.span(metric_names.SPAN_ALL_PAIRS, engine=resolved.name):
+                routes = resolved.all_pairs(graph, obs=obs)
+    elif observer is None:
+        routes = _all_pairs_reference(graph)
+    else:
+        with observer.span(metric_names.SPAN_ALL_PAIRS, engine="reference"):
+            routes = _all_pairs_reference(graph)
+        observer.count(
+            metric_names.ROUTE_TREES, len(routes.trees), engine="reference"
+        )
+    if check:
+        _sanitize_routes(graph, routes)
+    return routes
+
+
+def _all_pairs_reference(graph: ASGraph) -> AllPairsRoutes:
+    """The serial semantics-defining path: one Dijkstra per destination."""
     trees: Dict[NodeId, RouteTree] = {}
     expected = graph.num_nodes - 1
     for destination in graph.nodes:
@@ -99,3 +140,13 @@ def all_pairs_lcp(
             )
         trees[destination] = tree
     return AllPairsRoutes(graph=graph, trees=trees)
+
+
+def _sanitize_routes(graph: ASGraph, routes: AllPairsRoutes) -> None:
+    """Re-verify every selected route (sanitizer on, or forced)."""
+    for destination in sorted(routes.trees):
+        tree = routes.trees[destination]
+        for source in tree.sources():
+            sanitize_checks.check_lcp(
+                graph, source, destination, tree.path(source), tree.cost(source)
+            )

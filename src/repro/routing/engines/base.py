@@ -29,8 +29,10 @@ from typing import TYPE_CHECKING, ClassVar, Dict, Optional
 
 import numpy as np
 
+import repro.obs as obs_mod
 from repro.exceptions import EngineError
 from repro.graphs.asgraph import ASGraph
+from repro.obs import names as metric_names
 from repro.types import Cost, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
@@ -68,25 +70,77 @@ class Engine(ABC):
     #: Whether :meth:`all_pairs` yields real path objects.
     carries_paths: ClassVar[bool] = True
 
-    def all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
+    def all_pairs(
+        self,
+        graph: ASGraph,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
+    ) -> "AllPairsRoutes":
         """All selected LCPs (canonical tie-break), one tree per
-        destination.  Cost-only engines raise :class:`EngineError`."""
+        destination.  Cost-only engines raise :class:`EngineError`.
+
+        When an observer is active (explicit *obs* or the global
+        toggle) the computation runs under an ``engine.all_pairs``
+        span and emits a ``routing.route_trees`` counter, both labelled
+        with this engine's name.
+        """
+        observer = obs_mod.active(obs)
+        if observer is None:
+            return self._all_pairs(graph)
+        self._observe_setup(observer, graph)
+        with observer.span(metric_names.SPAN_ENGINE_ALL_PAIRS, engine=self.name):
+            routes = self._all_pairs(graph)
+        observer.count(
+            metric_names.ROUTE_TREES, len(routes.trees), engine=self.name
+        )
+        return routes
+
+    def _all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
+        """Backend hook for :meth:`all_pairs`; cost-only default."""
         raise EngineError(
             f"engine {self.name!r} is cost-only and does not carry paths; "
             "use a path engine (reference, parallel) for all_pairs"
         )
 
-    @abstractmethod
     def price_table(
         self,
         graph: ASGraph,
         routes: Optional["AllPairsRoutes"] = None,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
     ) -> "PriceTable":
         """The full Theorem 1 price table for *graph*.
 
         *routes* optionally reuses precomputed selected LCPs; engines
         must produce identical prices with or without it.
+
+        When an observer is active the computation runs under an
+        ``engine.price_table`` span and emits the
+        ``mechanism.price_rows`` throughput counter, labelled with this
+        engine's name; engines with configurable parallelism also gauge
+        their worker/shard layout via :meth:`_observe_setup`.
         """
+        observer = obs_mod.active(obs)
+        if observer is None:
+            return self._price_table(graph, routes=routes)
+        self._observe_setup(observer, graph)
+        with observer.span(metric_names.SPAN_ENGINE_PRICE_TABLE, engine=self.name):
+            table = self._price_table(graph, routes=routes)
+        observer.count(
+            metric_names.PRICE_ROWS, len(table.rows), engine=self.name
+        )
+        return table
+
+    @abstractmethod
+    def _price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+    ) -> "PriceTable":
+        """Backend hook for :meth:`price_table`."""
+
+    def _observe_setup(self, observer: obs_mod.Obs, graph: ASGraph) -> None:
+        """Hook: emit engine-configuration gauges before an observed run."""
 
     def cost_matrix(self, graph: ASGraph) -> CostMatrix:
         """All-pairs transit costs as a dense matrix.

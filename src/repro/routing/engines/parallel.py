@@ -43,6 +43,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs_mod
 from repro.devtools import sanitize
 from repro.exceptions import (
     DisconnectedGraphError,
@@ -54,6 +55,7 @@ from repro.graphs.asgraph import ASGraph
 from repro.mechanism.vcg import PriceRow, PriceTable
 from repro.routing.allpairs import AllPairsRoutes
 from repro.routing.avoiding import avoiding_costs_for_destination
+from repro.obs import names as metric_names
 from repro.routing.dijkstra import RouteTree, route_tree
 from repro.routing.engines.base import Engine
 from repro.types import Cost, Edge, NodeId, PathTuple
@@ -384,10 +386,28 @@ class ParallelEngine(Engine):
     def _shards(self, graph: ASGraph) -> List[Tuple[NodeId, ...]]:
         return shard_destinations(graph.nodes, self.workers * self._shards_per_worker)
 
-    def all_pairs(self, graph: ASGraph) -> AllPairsRoutes:
+    def _observe_setup(self, observer: obs_mod.Obs, graph: ASGraph) -> None:
+        """Gauge the worker/shard layout the run will use.
+
+        Round-robin shards of near-equal size are the worker-utilization
+        proxy: the spread of ``engine.shard.size`` across shards bounds
+        how long any worker can sit idle waiting for the longest shard.
+        """
+        shards = self._shards(graph)
+        observer.gauge(metric_names.ENGINE_WORKERS, self.workers, engine=self.name)
+        observer.gauge(metric_names.ENGINE_SHARDS, len(shards), engine=self.name)
+        for shard_index, shard in enumerate(shards):
+            observer.gauge(
+                metric_names.ENGINE_SHARD_SIZE,
+                len(shard),
+                engine=self.name,
+                shard=shard_index,
+            )
+
+    def _all_pairs(self, graph: ASGraph) -> AllPairsRoutes:
         return all_pairs_sharded(graph, self._shards(graph), workers=self.workers)
 
-    def price_table(
+    def _price_table(
         self,
         graph: ASGraph,
         routes: Optional[AllPairsRoutes] = None,

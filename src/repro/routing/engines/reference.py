@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, ClassVar, Optional
 
+import repro.obs as obs_mod
 from repro.graphs.asgraph import ASGraph
 from repro.routing.engines.base import Engine
 
@@ -25,12 +26,37 @@ class ReferenceEngine(Engine):
     name: ClassVar[str] = "reference"
     carries_paths: ClassVar[bool] = True
 
-    def all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
+    # The reference code paths live in (and are instrumented by) the
+    # routing/mechanism layers themselves, so this engine delegates
+    # *with* the observer instead of using the base-class wrappers --
+    # otherwise every route tree and price row would be counted twice.
+    def all_pairs(
+        self,
+        graph: ASGraph,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
+    ) -> "AllPairsRoutes":
+        from repro.routing.allpairs import all_pairs_lcp
+
+        return all_pairs_lcp(graph, obs=obs)
+
+    def price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
+    ) -> "PriceTable":
+        from repro.mechanism.vcg import compute_price_table
+
+        return compute_price_table(graph, routes=routes, obs=obs)
+
+    def _all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
         from repro.routing.allpairs import all_pairs_lcp
 
         return all_pairs_lcp(graph)
 
-    def price_table(
+    def _price_table(
         self,
         graph: ASGraph,
         routes: Optional["AllPairsRoutes"] = None,

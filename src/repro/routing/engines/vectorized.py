@@ -1,28 +1,224 @@
-"""The scipy-backed cost-only engine.
+"""Vectorized cost-only engine built on ``scipy.sparse.csgraph``.
 
-Wraps :mod:`repro.routing.scipy_engine`: all-pairs costs come from one
-``csgraph`` Dijkstra over the ``w(u -> v) = c_v`` reduction, and prices
-from one vectorized ``G - k`` Dijkstra per distinct transit node
-(:func:`repro.routing.scipy_engine.vcg_price_rows`).  Path *selection*
-still uses the canonical tie-broken routes -- prices are defined
-relative to them -- so :meth:`ScipyEngine.price_table` returns a true
-:class:`~repro.mechanism.vcg.PriceTable`; only the cost arithmetic is
-vectorized, which is where the reference engine spends nearly all of
-its time.
+The pure-Python engines carry full paths so that tie-breaking and the
+distributed protocol can be validated bit-for-bit.  For *scaling*
+experiments only the costs matter, and those are computed here with the
+classic node-cost-to-edge-cost reduction:
+
+    directed weight ``w(u -> v) = c_v``
+
+so the directed distance ``dist(i, j)`` equals the transit cost of the
+best ``i -> j`` path *plus* ``c_j``; subtracting the destination cost
+recovers the paper's transit cost.  k-avoiding costs are obtained by
+deleting node ``k``'s row and column.
+
+Zero-cost nodes are handled **exactly**: a zero transit cost becomes a
+stored (explicit) zero in the CSR matrix, and ``csgraph`` treats stored
+zeros of sparse input as real zero-weight edges, never as absent links.
+Earlier revisions nudged stored zeros to a tiny positive weight and
+compensated afterwards, which accumulated error across repeated
+k-avoiding calls; the nudge is gone and
+:func:`_directed_weight_matrix` now *verifies* that every zero survived
+construction, so a scipy behavior change would fail loudly instead of
+silently corrupting prices.  The ``c_k = 0`` regression tests pin the
+exact round-trip.
+
+These vectorized paths agree with the reference implementation on costs
+(up to floating-point reassociation), which the test suite checks.
+:func:`vcg_price_rows` extends the cost path to Theorem 1 prices: the
+per-``k`` avoiding sweep -- the hot loop of the pure-Python price table
+-- becomes one vectorized ``csgraph`` Dijkstra per distinct transit
+node, evaluating ``c_k + Cost(P_{-k}) - Cost(P)`` from distance
+matrices.
+
+This module is the canonical home of the vectorized entry points
+(:func:`all_pairs_costs`, :func:`avoiding_costs_matrix`,
+:func:`vcg_price_rows`, :func:`vcg_price_matrices`);
+``repro.routing.scipy_engine`` remains as a deprecated import shim.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Optional
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.devtools import sanitize
+from repro.exceptions import (
+    DisconnectedGraphError,
+    EngineError,
+    MechanismError,
+    NotBiconnectedError,
+)
 from repro.graphs.asgraph import ASGraph
 from repro.routing.engines.base import CostMatrix, Engine
-from repro.routing.scipy_engine import all_pairs_costs, vcg_price_rows
+from repro.types import Cost, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
-    from repro.mechanism.vcg import PriceTable
+    from repro.mechanism.vcg import PriceRow, PriceTable
     from repro.routing.allpairs import AllPairsRoutes
+
+__all__ = [
+    "ScipyEngine",
+    "all_pairs_costs",
+    "avoiding_costs_matrix",
+    "vcg_price_matrices",
+    "vcg_price_rows",
+]
+
+
+def _directed_weight_matrix(
+    graph: ASGraph,
+    skip: Optional[NodeId] = None,
+) -> Tuple[csr_matrix, np.ndarray, Dict[NodeId, int]]:
+    """The ``w(u -> v) = c_v`` reduction as a CSR matrix.
+
+    Zero node costs become *stored* zeros, which ``csgraph`` routines
+    honor as zero-weight edges for sparse input; the construction is
+    guarded so that a dropped zero (e.g. a future scipy calling
+    ``eliminate_zeros`` internally) raises :class:`EngineError` instead
+    of silently reporting the edge as absent.  *skip* omits one node
+    entirely, implementing ``G - k``.
+    """
+    index = graph.index_of()
+    n = graph.num_nodes
+    costs = np.empty(n, dtype=float)
+    for node, i in index.items():
+        costs[i] = graph.cost(node)
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[Cost] = []
+    for u, v in graph.edges:
+        if skip is not None and skip in (u, v):
+            continue
+        ui, vi = index[u], index[v]
+        rows.append(ui)
+        cols.append(vi)
+        data.append(costs[vi])
+        rows.append(vi)
+        cols.append(ui)
+        data.append(costs[ui])
+    matrix = csr_matrix((data, (rows, cols)), shape=(n, n))
+    if matrix.nnz != len(data):
+        raise EngineError(
+            "CSR construction dropped stored entries "
+            f"({matrix.nnz} kept of {len(data)}); zero-cost nodes would "
+            "no longer round-trip exactly"
+        )
+    return matrix, costs, index
+
+
+def all_pairs_costs(graph: ASGraph) -> Tuple[np.ndarray, Dict[NodeId, int]]:
+    """Transit-cost matrix ``C[i, j] = Cost(P(c; i, j))`` (0 on the
+    diagonal), plus the node->index mapping.
+
+    Zero-cost nodes are handled exactly: scipy's Dijkstra accepts zero
+    edge weights (they are non-negative), and the weight matrix
+    construction verifies none were dropped.
+    """
+    matrix, costs, index = _directed_weight_matrix(graph)
+    dist = _csgraph_dijkstra(matrix, directed=True, return_predecessors=False)
+    # dist[i, j] includes c_j for i != j; remove it.
+    transit = dist - costs[np.newaxis, :]
+    np.fill_diagonal(transit, 0.0)
+    if np.isinf(transit).any():
+        raise DisconnectedGraphError("graph is disconnected")
+    return transit, index
+
+
+def avoiding_costs_matrix(graph: ASGraph, k: NodeId) -> Tuple[np.ndarray, Dict[NodeId, int]]:
+    """Transit-cost matrix of ``G - k`` (``inf`` where disconnected).
+
+    Row/column of ``k`` itself are ``inf`` (excluding the diagonal).
+    """
+    pruned, costs, index = _directed_weight_matrix(graph, skip=k)
+    ki = index[k]
+    dist = _csgraph_dijkstra(pruned, directed=True, return_predecessors=False)
+    transit = dist - costs[np.newaxis, :]
+    np.fill_diagonal(transit, 0.0)
+    transit[ki, :] = np.inf
+    transit[:, ki] = np.inf
+    return transit, index
+
+
+def vcg_price_rows(
+    graph: ASGraph,
+    routes: Optional["AllPairsRoutes"] = None,
+) -> Dict[Tuple[NodeId, NodeId], "PriceRow"]:
+    """Theorem 1 price rows with the k-avoiding sweep vectorized.
+
+    Path *selection* (which ``k`` is transit on which selected LCP)
+    still comes from the canonical tie-broken routes -- prices are only
+    defined relative to them -- but both cost terms of
+    ``p^k_ij = c_k + Cost(P_{-k}(c; i, j)) - Cost(P(c; i, j))`` are read
+    from ``csgraph`` distance matrices: one all-sources Dijkstra on
+    ``G - k`` per *distinct* transit node ``k`` replaces the
+    per-(destination, k) pure-Python sweep.  Returns the same
+    ``(source, destination) -> {k: price}`` mapping that
+    :func:`repro.mechanism.vcg.compute_price_table` stores (direct-link
+    pairs omitted).
+    """
+    from repro.routing.allpairs import all_pairs_lcp
+
+    routes = routes if routes is not None else all_pairs_lcp(graph)
+    base, index = all_pairs_costs(graph)
+    avoiding: Dict[NodeId, np.ndarray] = {}
+    rows: Dict[Tuple[NodeId, NodeId], Dict[NodeId, Cost]] = {}
+    for destination in graph.nodes:
+        tree = routes.tree(destination)
+        dj = index[destination]
+        for source in tree.sources():
+            path = tree.path(source)
+            if len(path) == 2:
+                continue  # direct link: no transit nodes, no prices
+            si = index[source]
+            lcp_cost = base[si, dj]
+            row: Dict[NodeId, Cost] = {}
+            for k in path[1:-1]:
+                detours = avoiding.get(k)
+                if detours is None:
+                    detours, _ = avoiding_costs_matrix(graph, k)
+                    avoiding[k] = detours
+                detour_cost = detours[si, dj]
+                if not np.isfinite(detour_cost):
+                    raise NotBiconnectedError(
+                        message=(
+                            f"price p^{k}_{{{source},{destination}}} undefined: "
+                            f"no {k}-avoiding path (graph not biconnected)"
+                        )
+                    )
+                price = float(graph.cost(k) + detour_cost - lcp_cost)
+                if price < -1e-9:
+                    raise MechanismError(
+                        f"negative VCG price {price} for k={k}, pair "
+                        f"({source}, {destination}); avoiding cost below LCP cost"
+                    )
+                row[k] = price
+            rows[(source, destination)] = row
+    return rows
+
+
+def vcg_price_matrices(
+    graph: ASGraph,
+    routes: Optional["AllPairsRoutes"] = None,
+) -> Dict[NodeId, np.ndarray]:
+    """Price matrices ``P_k[i, j] = p^k_ij`` for each transit node ``k``.
+
+    Cost-only vectorized variant of the mechanism's price table; used by
+    the scaling benchmark (E11).  Entries are zero when ``k`` is not on
+    the selected LCP.  Built on :func:`vcg_price_rows`, so the avoiding
+    sweep runs inside ``csgraph`` rather than pure Python.
+    """
+    index = graph.index_of()
+    n = graph.num_nodes
+    matrices: Dict[NodeId, np.ndarray] = {}
+    for (i, j), row in vcg_price_rows(graph, routes=routes).items():
+        for k in sorted(row):
+            matrix = matrices.setdefault(k, np.zeros((n, n)))
+            matrix[index[i], index[j]] = row[k]
+    return matrices
 
 
 class ScipyEngine(Engine):
@@ -35,7 +231,7 @@ class ScipyEngine(Engine):
         matrix, index = all_pairs_costs(graph)
         return CostMatrix(matrix=matrix, index=index)
 
-    def price_table(
+    def _price_table(
         self,
         graph: ASGraph,
         routes: Optional["AllPairsRoutes"] = None,
@@ -43,7 +239,7 @@ class ScipyEngine(Engine):
         from repro.mechanism.vcg import PriceTable
         from repro.routing.allpairs import all_pairs_lcp
 
-        routes = routes or all_pairs_lcp(graph)
+        routes = routes if routes is not None else all_pairs_lcp(graph)
         rows = vcg_price_rows(graph, routes=routes)
         table = PriceTable(routes=routes, rows=rows)
         if sanitize.enabled():

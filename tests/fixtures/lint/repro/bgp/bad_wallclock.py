@@ -1,0 +1,20 @@
+"""Lint fixture: RPR005 violations (wall-clock reads in protocol code)."""
+
+import time
+from time import time as now
+
+
+def stamp_stage():
+    return time.time()
+
+
+def stamp_stage_ns():
+    return time.time_ns()
+
+
+def stage_started_at():
+    return now()
+
+
+def monotonic_is_fine():
+    return time.perf_counter()

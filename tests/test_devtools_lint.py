@@ -40,6 +40,7 @@ class TestFixtureFiles:
             ("bgp/bad_mutation.py", "RPR002", 4),
             ("core/bad_set_iter.py", "RPR003", 3),
             ("bgp/bad_random.py", "RPR004", 5),
+            ("bgp/bad_wallclock.py", "RPR005", 3),
         ],
     )
     def test_fixture_fires_rule(self, fixture, code, count):
@@ -175,6 +176,36 @@ class TestRule004Randomness:
     def test_generators_module_global_random_still_flagged(self):
         source = "import random\nx = random.random()\n"
         assert codes_in(lint_source(source, "graphs/generators.py")) == {"RPR004"}
+
+
+class TestRule005WallClock:
+    def test_time_time_in_protocol_code(self):
+        source = "import time\nt = time.time()\n"
+        assert codes_in(lint_source(source, "bgp/x.py")) == {"RPR005"}
+
+    def test_time_ns_in_engine_code(self):
+        source = "import time\nt = time.time_ns()\n"
+        assert codes_in(lint_source(source, "routing/engines/x.py")) == {"RPR005"}
+
+    def test_from_import_alias(self):
+        source = "from time import time as now\nt = now()\n"
+        assert codes_in(lint_source(source, "obs/x.py")) == {"RPR005"}
+
+    def test_perf_counter_passes(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert lint_source(source, "bgp/x.py") == []
+
+    def test_monotonic_passes(self):
+        source = "import time\nt = time.monotonic()\n"
+        assert lint_source(source, "obs/x.py") == []
+
+    def test_sleep_passes(self):
+        source = "import time\ntime.sleep(0.1)\n"
+        assert lint_source(source, "core/x.py") == []
+
+    def test_outside_protocol_scope_passes(self):
+        source = "import time\nt = time.time()\n"
+        assert lint_source(source, "experiments/x.py") == []
 
 
 class TestSuppression:

@@ -13,7 +13,7 @@ from repro.graphs.asgraph import ASGraph
 from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.avoiding import avoiding_tree
 from repro.routing.dijkstra import route_tree
-from repro.routing.scipy_engine import all_pairs_costs
+from repro.routing.engines.vectorized import all_pairs_costs
 
 
 @st.composite

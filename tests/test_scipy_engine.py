@@ -1,4 +1,8 @@
-"""Tests for repro.routing.scipy_engine (vectorized cost engine)."""
+"""Tests for repro.routing.engines.vectorized (scipy cost engine)."""
+
+import importlib
+import sys
+import warnings
 
 import numpy as np
 import pytest
@@ -14,12 +18,27 @@ from repro.graphs.generators import (
 from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.avoiding import avoiding_tree
-from repro.routing.scipy_engine import (
+from repro.routing.engines.vectorized import (
     _directed_weight_matrix,
     all_pairs_costs,
     avoiding_costs_matrix,
     vcg_price_rows,
 )
+
+
+class TestDeprecatedShim:
+    def test_scipy_engine_import_warns_and_reexports(self):
+        sys.modules.pop("repro.routing.scipy_engine", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.routing.scipy_engine")
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.routing.engines.vectorized" in str(w.message)
+            for w in caught
+        )
+        assert shim.all_pairs_costs is all_pairs_costs
+        assert shim.vcg_price_rows is vcg_price_rows
 
 
 class TestAllPairsCosts:
