@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench sanitize-test test-engines trace-smoke
+.PHONY: check lint test bench bench-protocol sanitize-test test-engines trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -39,3 +39,9 @@ trace-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# protocol transport benchmark: full-table vs delta substrate; writes
+# BENCH_protocol.json at the repo root (quick sizes; drop --quick for
+# the full sweep up to n = 200)
+bench-protocol:
+	$(PYTHON) benchmarks/bench_protocol_scaling.py --quick --out BENCH_protocol.json

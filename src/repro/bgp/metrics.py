@@ -18,12 +18,22 @@ from repro.types import NodeId
 
 @dataclass
 class StageStats:
-    """Per-stage accounting."""
+    """Per-stage accounting.
+
+    ``stage`` through ``entries_sent`` are the paper's Sect. 5 measures
+    and are identical under the full-table and delta transports (the
+    model accounts whole-table exchanges either way).  ``rows_sent`` /
+    ``rows_suppressed`` are *transport-level*: rows actually transmitted
+    vs rows the delta encoding avoided retransmitting.  Under the
+    full-table transport ``rows_suppressed`` is always 0.
+    """
 
     stage: int
     nodes_changed: int
     messages: int
     entries_sent: int
+    rows_sent: int = 0
+    rows_suppressed: int = 0
 
 
 @dataclass
@@ -34,12 +44,16 @@ class ConvergenceReport:
     stages: int
     total_messages: int = 0
     total_entries_sent: int = 0
+    total_rows_sent: int = 0
+    total_rows_suppressed: int = 0
     per_stage: List[StageStats] = field(default_factory=list)
 
     def record_stage(self, stats: StageStats) -> None:
         self.per_stage.append(stats)
         self.total_messages += stats.messages
         self.total_entries_sent += stats.entries_sent
+        self.total_rows_sent += stats.rows_sent
+        self.total_rows_suppressed += stats.rows_suppressed
 
     @property
     def max_entries_in_stage(self) -> int:

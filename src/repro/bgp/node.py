@@ -15,19 +15,48 @@ it changed.  Route selection is a pure function of the Adj-RIB-In:
 
 Subclasses (the FPSS price-computing node) hook :meth:`_after_decide`
 to derive additional per-destination state from the same messages.
+
+Incremental machinery (the delta substrate): :meth:`decide` accepts a
+*dirty* destination set and then re-selects only those destinations;
+outgoing rows are cached and hash-consed, so rebuilding the table after
+a decision touches only the rows whose inputs changed; and
+:meth:`publication_delta` hands the owning engine exactly the rows that
+changed since the last transmission (plus withdrawals), which is what a
+:class:`~repro.bgp.messages.RouteDelta` carries on the wire.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Set, Tuple
 
 import repro.obs as obs_mod
-from repro.bgp.messages import RouteAdvertisement
+from repro.bgp.messages import (
+    RouteAdvertisement,
+    RouteDelta,
+    intern_advertisement,
+    row_materially_different,
+)
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.bgp.table import AdjRIBIn, RouteEntry
 from repro.exceptions import ProtocolError
 from repro.obs import names as metric_names
 from repro.types import Cost, NodeId, validate_cost
+
+
+class PublicationDelta(NamedTuple):
+    """What changed in a node's published table since the last take.
+
+    ``material`` is True when some change exceeds floating-point noise
+    (see :func:`repro.bgp.messages.row_materially_different`) -- the
+    predicate that drives the engines' stage counting."""
+
+    updates: Tuple[RouteAdvertisement, ...]
+    withdrawals: Tuple[NodeId, ...]
+    material: bool
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.updates and not self.withdrawals
 
 
 class BGPNode:
@@ -56,6 +85,17 @@ class BGPNode:
         # Price-computation epoch; bumped by on_network_event() so that
         # restarted price state never mixes with pre-event information.
         self.generation = 0
+        # --- outgoing-table cache (delta substrate) -------------------
+        # Interned row per destination; the self-route is keyed by our
+        # own id.  ``_stale_rows`` marks rows whose inputs changed since
+        # the cache was last refreshed; ``_pub_baseline`` is the table
+        # as of the last publication_delta() take (what receivers hold),
+        # and ``_pub_touched`` the destinations that may differ from it.
+        self._advert_cache: Dict[NodeId, RouteAdvertisement] = {}
+        self._stale_rows: Set[NodeId] = {node_id}
+        self._pub_baseline: Dict[NodeId, RouteAdvertisement] = {}
+        self._pub_touched: Set[NodeId] = set()
+        self._pub_entries = 0
 
     # ------------------------------------------------------------------
     # Message handling
@@ -64,8 +104,13 @@ class BGPNode:
         self,
         neighbor: NodeId,
         adverts: Iterable[RouteAdvertisement],
-    ) -> None:
-        """Store a full-table exchange from *neighbor*."""
+    ) -> Set[NodeId]:
+        """Store a full-table exchange from *neighbor*.
+
+        Returns the destinations whose stored advertisement actually
+        changed -- the receiver's *dirty set*, which is what an
+        incremental engine re-decides.
+        """
         observer = obs_mod.active(self.obs)
         if observer is not None:
             observer.count(metric_names.MESSAGES_RECEIVED, node=self.node_id)
@@ -77,7 +122,30 @@ class BGPNode:
                     f"on the session with {neighbor}"
                 )
             table[advert.destination] = advert
-        self.rib_in.replace_neighbor_table(neighbor, table)
+        return self.rib_in.replace_neighbor_table(neighbor, table)
+
+    def receive_delta(self, neighbor: NodeId, delta: RouteDelta) -> Set[NodeId]:
+        """Apply a differential exchange from *neighbor*.
+
+        Equivalent to :meth:`receive_table` with the full table the
+        delta reconstructs; returns the same dirty-destination set.
+        """
+        observer = obs_mod.active(self.obs)
+        if observer is not None:
+            observer.count(metric_names.MESSAGES_RECEIVED, node=self.node_id)
+        if delta.sender != neighbor:
+            raise ProtocolError(
+                f"node {self.node_id} got a delta from {delta.sender} "
+                f"on the session with {neighbor}"
+            )
+        dirty: Set[NodeId] = set()
+        for advert in delta.updates:
+            if self.rib_in.apply_update(neighbor, advert):
+                dirty.add(advert.destination)
+        for destination in delta.withdrawals:
+            if self.rib_in.withdraw(neighbor, destination):
+                dirty.add(destination)
+        return dirty
 
     def drop_neighbor(self, neighbor: NodeId) -> None:
         """Forget a failed adjacency."""
@@ -87,21 +155,35 @@ class BGPNode:
         """Change this node's declared cost (dynamics / strategic play).
         Takes effect at the next decision."""
         self.declared_cost = validate_cost(cost, what=f"cost of node {self.node_id}")
+        self._stale_rows.add(self.node_id)
 
     # ------------------------------------------------------------------
     # Decision process
     # ------------------------------------------------------------------
-    def decide(self) -> Set[NodeId]:
+    def decide(self, dirty: Optional[Set[NodeId]] = None) -> Set[NodeId]:
         """Recompute selected routes from the Adj-RIB-In.
+
+        With *dirty* = None (the full decision of the Sect. 5 model),
+        every destination is re-selected.  With a dirty set -- the
+        destinations whose inbound advertisements changed, as returned
+        by :meth:`receive_table` / :meth:`receive_delta` -- only those
+        are re-selected.  Selection is a pure per-destination function
+        of the Adj-RIB-In, so both calls leave identical state; the
+        dirty form just skips the destinations whose inputs are
+        untouched.
 
         Returns the destinations whose selected route changed (used by
         subclasses and by tests; the engine detects change at the
         advertisement level).
         """
         changed: Set[NodeId] = set()
-        destinations = set(self.rib_in.destinations())
-        destinations.discard(self.node_id)
-        for destination in sorted(destinations):
+        if dirty is None:
+            destinations = set(self.rib_in.destinations())
+            destinations.discard(self.node_id)
+            candidates = sorted(destinations)
+        else:
+            candidates = sorted(d for d in dirty if d != self.node_id)
+        for destination in candidates:
             entry = self._select_route(destination)
             previous = self.routes.get(destination)
             if entry is None:
@@ -120,12 +202,23 @@ class BGPNode:
                 if dict(previous.node_costs) != dict(entry.node_costs):
                     self.routes[destination] = entry
                     changed.add(destination)
-        # Routes to destinations that vanished from every neighbor table.
-        for destination in list(self.routes):
-            if destination not in destinations:
-                del self.routes[destination]
-                changed.add(destination)
-        self._after_decide(changed)
+        if dirty is None:
+            # Routes to destinations that vanished from every neighbor
+            # table.  (In the dirty form such destinations are in the
+            # dirty set -- a withdrawal dirtied them -- and the main
+            # loop's ``entry is None`` branch already dropped them.)
+            for destination in list(self.routes):
+                if destination not in destinations:
+                    del self.routes[destination]
+                    changed.add(destination)
+        derived = self._after_decide(changed, dirty)
+        if derived is None:
+            # The subclass does not track which advertised derived rows
+            # changed; conservatively treat every recomputed destination
+            # as touched (publication_delta suppresses the no-ops).
+            derived = set(candidates)
+        self._stale_rows.update(changed)
+        self._stale_rows.update(derived)
         return changed
 
     def _select_route(self, destination: NodeId) -> Optional[RouteEntry]:
@@ -145,8 +238,25 @@ class BGPNode:
                 best_entry = RouteEntry(path=path, cost=cost, node_costs=node_costs)
         return best_entry
 
-    def _after_decide(self, changed_destinations: Set[NodeId]) -> None:
-        """Hook for subclasses (price computation); default: nothing."""
+    def _after_decide(
+        self,
+        changed_destinations: Set[NodeId],
+        dirty_destinations: Optional[Set[NodeId]] = None,
+    ) -> Optional[Set[NodeId]]:
+        """Hook for subclasses (price computation).
+
+        *dirty_destinations* is the dirty set :meth:`decide` was given
+        (None: full decision).  Since every advertised derived row (the
+        price slot) is a function of that destination's inbound
+        advertisements and selected route alone, a subclass may restrict
+        its recomputation to ``dirty | changed``.
+
+        Returns the destinations whose *advertised* derived state
+        changed, or None when the subclass does not track this (the
+        caller then conservatively assumes every recomputed destination
+        changed).  The base node advertises no derived state.
+        """
+        return set()
 
     def restart(self) -> None:
         """Forget all learned protocol state (full restart).
@@ -160,16 +270,113 @@ class BGPNode:
         self.generation += 1
         self.rib_in = AdjRIBIn()
         self.routes = {}
+        # Every cached row is now stale: learned routes become
+        # withdrawals, and the self-route changes epoch.
+        self._stale_rows.update(self._advert_cache)
+        self._stale_rows.add(self.node_id)
 
     # ------------------------------------------------------------------
     # Advertisement production
     # ------------------------------------------------------------------
+    def _refresh_rows(self) -> None:
+        """Bring the outgoing-row cache up to date (O(stale rows)).
+
+        Rebuilt rows are interned, so a row whose content did not change
+        keeps its previous identity and publication_delta's comparisons
+        stay pointer checks.
+        """
+        if not self._stale_rows:
+            return
+        for destination in self._stale_rows:
+            if destination == self.node_id:
+                new: Optional[RouteAdvertisement] = intern_advertisement(
+                    self.self_advertisement()
+                )
+            elif destination in self.routes:
+                new = intern_advertisement(self._advert_for(destination))
+            else:
+                new = None
+            old = self._advert_cache.get(destination)
+            if new is old:
+                continue
+            if new is None:
+                if old is None:
+                    continue
+                del self._advert_cache[destination]
+            elif new == old:
+                continue  # identical content; keep the cached identity
+            else:
+                self._advert_cache[destination] = new
+            self._pub_touched.add(destination)
+        self._stale_rows.clear()
+
     def advertisements(self) -> Tuple[RouteAdvertisement, ...]:
         """The node's current full table as messages, self-route first."""
-        adverts: List[RouteAdvertisement] = [self.self_advertisement()]
+        self._refresh_rows()
+        adverts: List[RouteAdvertisement] = [self._advert_cache[self.node_id]]
         for destination in sorted(self.routes):
-            adverts.append(self._advert_for(destination))
+            adverts.append(self._advert_cache[destination])
         return tuple(adverts)
+
+    def publication_delta(self) -> PublicationDelta:
+        """Changes to the published table since the previous take.
+
+        The engine calls this once per publication point; the returned
+        rows are exactly what a :class:`RouteDelta` must carry so that
+        receivers holding the previous publication end up with the same
+        slice a full-table exchange would have left.  Cost is
+        O(changed rows), not O(table).
+        """
+        self._refresh_rows()
+        if not self._pub_touched:
+            return PublicationDelta((), (), False)
+        updates: List[RouteAdvertisement] = []
+        withdrawals: List[NodeId] = []
+        material = False
+        for destination in sorted(self._pub_touched):
+            current = self._advert_cache.get(destination)
+            previous = self._pub_baseline.get(destination)
+            if current is previous or (current is not None and current == previous):
+                continue
+            if current is None:
+                withdrawals.append(destination)
+                material = True
+                del self._pub_baseline[destination]
+                self._pub_entries -= previous.size_entries()
+            else:
+                updates.append(current)
+                if previous is None or row_materially_different(previous, current):
+                    material = True
+                self._pub_baseline[destination] = current
+                self._pub_entries += current.size_entries() - (
+                    previous.size_entries() if previous is not None else 0
+                )
+        self._pub_touched.clear()
+        return PublicationDelta(tuple(updates), tuple(withdrawals), material)
+
+    def published_table(self) -> Tuple[RouteAdvertisement, ...]:
+        """The full published table (as of the last take), self-route
+        first -- what an initial full-table sync to a new neighbor must
+        carry so that subsequent deltas apply against known state."""
+        rows: List[RouteAdvertisement] = []
+        self_row = self._pub_baseline.get(self.node_id)
+        if self_row is not None:
+            rows.append(self_row)
+        for destination in sorted(self._pub_baseline):
+            if destination != self.node_id:
+                rows.append(self._pub_baseline[destination])
+        return tuple(rows)
+
+    @property
+    def published_rows(self) -> int:
+        """Rows in the published table (as of the last take)."""
+        return len(self._pub_baseline)
+
+    @property
+    def published_entries(self) -> int:
+        """Size of the published table in entries (as of the last take);
+        what one full-table transmission would put on the wire."""
+        return self._pub_entries
 
     def self_advertisement(self) -> RouteAdvertisement:
         """The advertisement for this node as a destination."""

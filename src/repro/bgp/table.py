@@ -13,7 +13,7 @@ Terminology follows real BGP:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.bgp.messages import RouteAdvertisement
 from repro.types import Cost, NodeId, PathTuple
@@ -58,8 +58,11 @@ class AdjRIBIn:
     ``store[neighbor][destination]`` is the last advertisement received
     from that neighbor for that destination.  A full-table exchange
     replaces the neighbor's slice wholesale (the model of Sect. 5 sends
-    whole tables; incremental updates are a real-BGP optimization the
-    paper explicitly sets aside for worst-case accounting).
+    whole tables for worst-case accounting); a delta exchange edits the
+    slice row-by-row via :meth:`apply_update` / :meth:`withdraw`, which
+    is the real-BGP incremental optimization reintroduced by the delta
+    substrate.  Either way the write methods report which destinations
+    actually changed, so the owning node can recompute only those.
     """
 
     def __init__(self) -> None:
@@ -69,8 +72,40 @@ class AdjRIBIn:
         self,
         neighbor: NodeId,
         adverts: Mapping[NodeId, RouteAdvertisement],
-    ) -> None:
-        self._store[neighbor] = dict(adverts)
+    ) -> Set[NodeId]:
+        """Replace *neighbor*'s slice wholesale; returns the destinations
+        whose stored advertisement changed (added, replaced, or dropped).
+        Interned rows make the per-row comparison a pointer check."""
+        old = self._store.get(neighbor) or {}
+        new = dict(adverts)
+        self._store[neighbor] = new
+        dirty: Set[NodeId] = set()
+        for destination, advert in new.items():
+            previous = old.get(destination)
+            if previous is None or (previous is not advert and previous != advert):
+                dirty.add(destination)
+        for destination in old:
+            if destination not in new:
+                dirty.add(destination)
+        return dirty
+
+    def apply_update(self, neighbor: NodeId, advert: RouteAdvertisement) -> bool:
+        """Store one replacement row from *neighbor*; True iff the slice
+        actually changed."""
+        table = self._store.setdefault(neighbor, {})
+        previous = table.get(advert.destination)
+        if previous is advert or (previous is not None and previous == advert):
+            return False
+        table[advert.destination] = advert
+        return True
+
+    def withdraw(self, neighbor: NodeId, destination: NodeId) -> bool:
+        """Drop *neighbor*'s row for *destination*; True iff present."""
+        table = self._store.get(neighbor)
+        if not table or destination not in table:
+            return False
+        del table[destination]
+        return True
 
     def drop_neighbor(self, neighbor: NodeId) -> None:
         """Forget everything learned from *neighbor* (link failure)."""

@@ -4,7 +4,7 @@ Subcommands::
 
     repro-cli list                          # show experiment ids
     repro-cli engines                       # show registered engines
-    repro-cli run E5 [--scale full] [--engine parallel] [--trace out.jsonl]
+    repro-cli run E5 [--scale full] [--engine parallel] [--protocol full] [--trace out.jsonl]
     repro-cli all [--scale full] [--write-md EXPERIMENTS.md] [--trace out.jsonl]
     repro-cli trace summarize out.jsonl     # paper measures from a trace
     repro-cli trace validate out.jsonl      # schema-check a trace file
@@ -46,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
         "route/price engine for engine-aware experiments "
         f"({' | '.join(engine_names())}; default: reference)"
     )
+    protocol_help = (
+        "BGP transport for protocol-aware experiments: delta (incremental "
+        "row exchanges; default) or full (literal Sect. 5 full tables); "
+        "results are bit-identical either way"
+    )
     trace_help = (
         "record an observability trace of the run as JSONL "
         "(read it back with `trace summarize`)"
@@ -58,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--engine", choices=engine_names(), default=None, help=engine_help
     )
+    run_parser.add_argument(
+        "--protocol", choices=("delta", "full"), default=None, help=protocol_help
+    )
     run_parser.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
@@ -65,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument(
         "--engine", choices=engine_names(), default=None, help=engine_help
+    )
+    all_parser.add_argument(
+        "--protocol", choices=("delta", "full"), default=None, help=protocol_help
     )
     all_parser.add_argument(
         "--write-md",
@@ -141,6 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine_kwargs: Dict[str, Any] = {}
     if getattr(args, "engine", None) is not None:
         engine_kwargs["engine"] = args.engine
+    if getattr(args, "protocol", None) is not None:
+        engine_kwargs["protocol"] = args.protocol
     if args.command == "run":
         with _tracing(args.trace):
             result = run_experiment(

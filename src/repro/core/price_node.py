@@ -69,25 +69,50 @@ class PriceComputingNode(BGPNode):
     # ------------------------------------------------------------------
     # Hook from the base decision process
     # ------------------------------------------------------------------
-    def _after_decide(self, changed_destinations: Set[NodeId]) -> None:
-        # Drop rows for destinations we no longer route to.
-        for destination in list(self.price_rows):
-            if destination not in self.routes:
-                del self.price_rows[destination]
-        for destination, entry in self.routes.items():
+    def _after_decide(
+        self,
+        changed_destinations: Set[NodeId],
+        dirty_destinations: Optional[Set[NodeId]] = None,
+    ) -> Set[NodeId]:
+        # A destination's price row is a function of that destination's
+        # stored advertisements and selected route alone, so with a
+        # dirty set only ``dirty | changed`` rows can move; a full
+        # decision sweeps every route.  Returns the destinations whose
+        # row changed (the advertised price slot), so the outgoing-row
+        # cache refreshes exactly those.
+        rows_changed: Set[NodeId] = set()
+        if dirty_destinations is None:
+            # Drop rows for destinations we no longer route to.
+            for destination in list(self.price_rows):
+                if destination not in self.routes:
+                    del self.price_rows[destination]
+                    rows_changed.add(destination)
+            candidates = sorted(self.routes)
+        else:
+            for destination in sorted(changed_destinations):
+                if destination not in self.routes and destination in self.price_rows:
+                    del self.price_rows[destination]
+                    rows_changed.add(destination)
+            scope = set(dirty_destinations) | set(changed_destinations)
+            candidates = [d for d in sorted(scope) if d in self.routes]
+        for destination in candidates:
+            entry = self.routes[destination]
             transit = entry.transit
+            previous_row = self.price_rows.get(destination)
             if not transit:
+                if previous_row != {}:
+                    rows_changed.add(destination)
                 self.price_rows[destination] = {}
                 continue
-            fresh_row = {k: INF for k in transit}
+            row_moved = False
             if self.mode is UpdateMode.RECOMPUTE:
-                row = fresh_row
-            elif destination in changed_destinations or destination not in self.price_rows:
+                row = {k: INF for k in transit}
+            elif destination in changed_destinations or previous_row is None:
                 # Monotone mode: the row restarts whenever the route
                 # changes (its entries are tied to the current c(i, j)).
-                row = fresh_row
+                row = {k: INF for k in transit}
             else:
-                row = self.price_rows[destination]
+                row = previous_row
             for neighbor in self.rib_in.neighbors():
                 advert = self.rib_in.advert(neighbor, destination)
                 if advert is not None and advert.generation < self.generation:
@@ -96,7 +121,7 @@ class PriceComputingNode(BGPNode):
                     # prices.  (Route selection still uses such adverts
                     # -- path-vector routing self-corrects.)
                     continue
-                candidates = price_candidates(
+                candidates_k = price_candidates(
                     self_id=self.node_id,
                     self_cost=self.declared_cost,
                     my_path=entry.path,
@@ -106,10 +131,18 @@ class PriceComputingNode(BGPNode):
                     advert=advert,
                     literal_child_formula=self.literal_child_formula,
                 )
-                for k, value in candidates.items():
+                for k, value in candidates_k.items():
                     if value < row.get(k, INF):
                         row[k] = value
+                        row_moved = True
+            if row is not previous_row:
+                # Rebuilt from scratch: compare content, not identity
+                # (an identical recomputation must not dirty the row).
+                row_moved = row != previous_row
+            if row_moved:
+                rows_changed.add(destination)
             self.price_rows[destination] = row
+        return rows_changed
 
     # ------------------------------------------------------------------
     # Advertisement contents

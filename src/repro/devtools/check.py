@@ -4,9 +4,13 @@ Runs, in order:
 
 1. **lint** -- the repo-specific AST rules (:mod:`repro.devtools.lint`),
    in-process;
-2. **ruff** -- generic style/bug lint, if ruff is installed;
-3. **mypy** -- strict static typing, if mypy is installed;
-4. **pytest** -- the tier-1 test suite.
+2. **bench-imports** -- ``benchmarks/`` must stay importable with the
+   baseline toolchain: no module-level imports of optional heavy
+   dependencies (scipy) that would break ``pytest benchmarks/``
+   collection in the reproduction container;
+3. **ruff** -- generic style/bug lint, if ruff is installed;
+4. **mypy** -- strict static typing, if mypy is installed;
+5. **pytest** -- the tier-1 test suite.
 
 External tools that are not installed are reported ``SKIP`` rather than
 failing the gate: the repo-specific checks carry the invariants that
@@ -20,6 +24,7 @@ Exit status is non-zero iff any executed step failed.
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import shutil
 import subprocess
@@ -65,6 +70,52 @@ def _step_lint() -> StepResult:
     return StepResult("lint", _PASS)
 
 
+#: Modules the benchmark harness must never import at module level --
+#: they are optional in the reproduction container, and a top-level
+#: import would break ``pytest benchmarks/`` collection outright.
+_BENCH_FORBIDDEN_IMPORTS = ("scipy",)
+
+
+def _module_level_forbidden_imports(tree: ast.Module) -> List[str]:
+    """Names from :data:`_BENCH_FORBIDDEN_IMPORTS` imported at module
+    level (imports inside functions -- lazy/gated -- are fine)."""
+    found: List[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            continue
+        for name in names:
+            root_name = name.split(".")[0]
+            if root_name in _BENCH_FORBIDDEN_IMPORTS:
+                found.append(f"line {node.lineno}: {name}")
+    return found
+
+
+def _step_bench_imports(root: Path) -> StepResult:
+    bench_dir = root / "benchmarks"
+    if not bench_dir.is_dir():  # pragma: no cover - repo layout guard
+        return StepResult("bench-imports", _SKIP, "no benchmarks/ directory")
+    problems: List[str] = []
+    for path in sorted(bench_dir.glob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:  # pragma: no cover - caught by pytest too
+            problems.append(f"{path.name}: syntax error: {exc}")
+            continue
+        for finding in _module_level_forbidden_imports(tree):
+            problems.append(
+                f"{path.name}: module-level import of an optional heavy "
+                f"dependency ({finding}); import it lazily inside the "
+                f"benchmark (or gate it) so benchmarks/ stays importable"
+            )
+    if problems:
+        return StepResult("bench-imports", _FAIL, "\n".join(problems))
+    return StepResult("bench-imports", _PASS)
+
+
 def _run_tool(name: str, args: Sequence[str], cwd: Path) -> StepResult:
     """Run an *optional* external tool; SKIP when it is not installed."""
     if shutil.which(name) is None:
@@ -107,7 +158,12 @@ def _step_pytest(root: Path) -> StepResult:
 def run_checks(skip_tests: bool = False) -> List[StepResult]:
     """Execute every gate step; never raises on a failing step."""
     root = _repo_root()
-    results = [_step_lint(), _step_ruff(root), _step_mypy(root)]
+    results = [
+        _step_lint(),
+        _step_bench_imports(root),
+        _step_ruff(root),
+        _step_mypy(root),
+    ]
     if not skip_tests:
         results.append(_step_pytest(root))
     return results
@@ -116,7 +172,10 @@ def run_checks(skip_tests: bool = False) -> List[StepResult]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.check",
-        description="Run the full correctness gate (lint, ruff, mypy, pytest).",
+        description=(
+            "Run the full correctness gate "
+            "(lint, bench-imports, ruff, mypy, pytest)."
+        ),
     )
     parser.add_argument(
         "--skip-tests",

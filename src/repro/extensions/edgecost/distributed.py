@@ -94,12 +94,34 @@ class EdgeCostPriceNode(BGPNode):
             return value if value is not None else INF
         return advert.cost  # its tree path avoids k already
 
-    def _after_decide(self, changed_destinations: Set[NodeId]) -> None:
-        # --- avoiding-cost rows for the advertised tree routes --------
-        for destination in list(self.avoiding_rows):
-            if destination not in self.routes:
-                del self.avoiding_rows[destination]
-        for destination, entry in self.routes.items():
+    def _after_decide(
+        self,
+        changed_destinations: Set[NodeId],
+        dirty_destinations: Optional[Set[NodeId]] = None,
+    ) -> Set[NodeId]:
+        # Every derived quantity below is a per-destination function of
+        # that destination's stored advertisements (plus the selected
+        # route), so a dirty decision restricts the sweep to
+        # ``dirty | changed``.  Returns the destinations whose
+        # *advertised* avoiding row changed.
+        rows_changed: Set[NodeId] = set()
+        if dirty_destinations is None:
+            scope_set = None
+            # --- avoiding-cost rows for the advertised tree routes ----
+            for destination in list(self.avoiding_rows):
+                if destination not in self.routes:
+                    del self.avoiding_rows[destination]
+                    rows_changed.add(destination)
+            scope = sorted(self.routes)
+        else:
+            scope_set = set(dirty_destinations) | set(changed_destinations)
+            for destination in sorted(scope_set):
+                if destination not in self.routes and destination in self.avoiding_rows:
+                    del self.avoiding_rows[destination]
+                    rows_changed.add(destination)
+            scope = sorted(d for d in scope_set if d in self.routes)
+        for destination in scope:
+            entry = self.routes[destination]
             row: Dict[NodeId, Cost] = {}
             for k in entry.transit:
                 best = INF
@@ -114,14 +136,20 @@ class EdgeCostPriceNode(BGPNode):
                     if candidate < best:
                         best = candidate
                 row[k] = best
+            if row != self.avoiding_rows.get(destination):
+                rows_changed.add(destination)
             self.avoiding_rows[destination] = row
 
-        # --- source routes and prices ----------------------------------
-        self.source_routes.clear()
-        self.source_prices.clear()
-        destinations = set(self.rib_in.destinations())
-        destinations.discard(self.node_id)
-        for destination in destinations:
+        # --- source routes and prices (local outputs; no message) ------
+        if scope_set is None:
+            self.source_routes.clear()
+            self.source_prices.clear()
+            destinations = set(self.rib_in.destinations())
+            destinations.discard(self.node_id)
+            source_scope = sorted(destinations)
+        else:
+            source_scope = sorted(d for d in scope_set if d != self.node_id)
+        for destination in source_scope:
             chosen = None
             chosen_key = None
             for neighbor, advert in sorted(
@@ -134,6 +162,10 @@ class EdgeCostPriceNode(BGPNode):
                     chosen_key = key
                     chosen = advert
             if chosen is None:
+                # No loop-free candidate (or the destination vanished
+                # from every neighbor table): no source route.
+                self.source_routes.pop(destination, None)
+                self.source_prices.pop(destination, None)
                 continue
             path = (self.node_id,) + chosen.path
             transit_cost = chosen.cost
@@ -156,6 +188,7 @@ class EdgeCostPriceNode(BGPNode):
                 c_k = node_costs.get(k, INF)
                 prices[k] = c_k + best - transit_cost if best != INF else INF
             self.source_prices[destination] = prices
+        return rows_changed
 
     # ------------------------------------------------------------------
     # Advertisement contents: the avoiding rows ride the price slot.

@@ -13,6 +13,8 @@ metric                     kind     paper measure
 ``bgp.messages``           counter  total communication, by ``type`` label
 ``bgp.messages.received``  counter  receiver-side message accounting
 ``bgp.entries_sent``       counter  communication volume in table entries
+``bgp.rows_sent``          counter  rows actually transmitted (transport level)
+``bgp.rows_suppressed``    counter  rows the delta transport avoided resending
 ``bgp.deliveries``         counter  asynchronous-engine deliveries
 ``bgp.node.loc_rib_entries``    gauge  per-node routing-table state (``O(nd)``)
 ``bgp.node.adj_rib_in_entries`` gauge  per-node Adj-RIB-In state
@@ -40,6 +42,8 @@ STAGE_NODES_CHANGED = "bgp.stage.nodes_changed"
 MESSAGES = "bgp.messages"
 MESSAGES_RECEIVED = "bgp.messages.received"
 ENTRIES_SENT = "bgp.entries_sent"
+ROWS_SENT = "bgp.rows_sent"
+ROWS_SUPPRESSED = "bgp.rows_suppressed"
 DELIVERIES = "bgp.deliveries"
 LOC_RIB_ENTRIES = "bgp.node.loc_rib_entries"
 ADJ_RIB_IN_ENTRIES = "bgp.node.adj_rib_in_entries"

@@ -98,6 +98,10 @@ class TraceSummary:
     messages_by_type: Dict[str, int] = field(default_factory=dict)
     #: ``bgp.entries_sent`` counter total (communication volume).
     entries_sent: int = 0
+    #: ``bgp.rows_sent`` counter total (rows actually transmitted).
+    rows_sent: int = 0
+    #: ``bgp.rows_suppressed`` counter total (delta-transport savings).
+    rows_suppressed: int = 0
     #: ``bgp.deliveries`` counter total (asynchronous engine).
     deliveries: int = 0
     #: last per-node gauge values, keyed by node label.
@@ -171,6 +175,8 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
             stats[1] += float(event["dur"])
     summary.stages = int(summary.counter_total(names.STAGES))
     summary.entries_sent = int(summary.counter_total(names.ENTRIES_SENT))
+    summary.rows_sent = int(summary.counter_total(names.ROWS_SENT))
+    summary.rows_suppressed = int(summary.counter_total(names.ROWS_SUPPRESSED))
     summary.deliveries = int(summary.counter_total(names.DELIVERIES))
     summary.spans = {
         name: (int(count), total) for name, (count, total) in span_acc.items()
@@ -200,6 +206,9 @@ def summary_tables(summary: TraceSummary, title: Optional[str] = None) -> List[A
     for message_type, count in sorted(summary.messages_by_type.items()):
         measures.add_row(f"  messages[type={message_type or '-'}]", count)
     measures.add_row("entries sent", summary.entries_sent)
+    if summary.rows_sent or summary.rows_suppressed:
+        measures.add_row("rows transmitted (transport)", summary.rows_sent)
+        measures.add_row("rows suppressed by delta transport", summary.rows_suppressed)
     if summary.deliveries:
         measures.add_row("async deliveries", summary.deliveries)
     measures.add_row("max Loc-RIB entries (per node)", summary.max_loc_rib)

@@ -15,13 +15,33 @@ from repro.devtools.check import StepResult, main, run_checks
 class TestRunChecks:
     def test_static_steps_never_fail_on_shipped_tree(self):
         results = run_checks(skip_tests=True)
-        assert [r.name for r in results] == ["lint", "ruff", "mypy"]
+        assert [r.name for r in results] == ["lint", "bench-imports", "ruff", "mypy"]
         for result in results:
             assert result.status in {"PASS", "SKIP"}, f"{result.name}: {result.detail}"
 
     def test_lint_step_passes(self):
         results = {r.name: r for r in run_checks(skip_tests=True)}
         assert results["lint"].status == "PASS"
+
+    def test_bench_imports_step_passes_on_shipped_tree(self):
+        results = {r.name: r for r in run_checks(skip_tests=True)}
+        assert results["bench-imports"].status == "PASS"
+
+    def test_bench_imports_flags_module_level_scipy(self, tmp_path, monkeypatch):
+        import repro.devtools.check as check_mod
+
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_bad.py").write_text(
+            "from scipy.sparse import csr_matrix\n\n\ndef test_x():\n    pass\n"
+        )
+        (bench / "bench_ok.py").write_text(
+            "def test_y():\n    import scipy  # lazy: allowed\n"
+        )
+        result = check_mod._step_bench_imports(tmp_path)
+        assert result.status == "FAIL"
+        assert "bench_bad.py" in result.detail
+        assert "bench_ok.py" not in result.detail
 
     def test_missing_tool_is_skip_not_fail(self, monkeypatch):
         monkeypatch.setattr("shutil.which", lambda name: None)
