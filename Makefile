@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-protocol sanitize-test test-engines trace-smoke
+.PHONY: check lint test bench bench-protocol bench-dynamics sanitize-test test-engines trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -45,3 +45,10 @@ bench:
 # the full sweep up to n = 200)
 bench-protocol:
 	$(PYTHON) benchmarks/bench_protocol_scaling.py --quick --out BENCH_protocol.json
+
+# dynamics benchmark: incremental warm-start engine vs from-scratch
+# reference across a scripted event sequence; writes BENCH_dynamics.json
+# at the repo root and exits non-zero unless every epoch is bit-identical
+# to the cold reference (quick: 4 events at n = 200; drop --quick for 12)
+bench-dynamics:
+	$(PYTHON) benchmarks/bench_dynamics_incremental.py --quick --out BENCH_dynamics.json

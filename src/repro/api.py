@@ -11,11 +11,16 @@ not.  One symbol per concept:
 * :func:`compute_price_table` -- the centralized Theorem 1 VCG prices
   (same keyword-only knobs, same order, same defaults).
 * :func:`get_engine` -- instantiate a computation backend from the
-  engine registry by name (``reference`` | ``scipy`` | ``parallel``).
+  engine registry by name (``reference`` | ``scipy`` | ``parallel`` |
+  ``incremental``).
 * :func:`run_distributed_mechanism` -- the paper's contribution: routes
   *and* prices computed by the BGP-based protocol of Section 6.
 * :func:`verify_against_centralized` -- compare a distributed result
   with the centralized reference, route by route and price by price.
+* :func:`run_dynamic_scenario` -- Sect. 6 dynamics: drive a converged
+  network through a scripted event sequence, reconverging and verifying
+  after every event (``engine="incremental"`` makes the per-epoch
+  verification warm-start from cached route trees).
 * :func:`fig1_graph` -- the paper's Figure 1 worked example.
 * :mod:`obs` -- the observability layer (spans, counters, gauges,
   trace sinks); off by default with zero overhead.
@@ -32,11 +37,20 @@ Quickstart::
     with api.obs.observed() as observer:              # record a run
         api.run_distributed_mechanism(graph)
     observer.counter_total(api.obs.names.MESSAGES)    # paper measure 2
+
+Dynamics quickstart::
+
+    from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+
+    events = [LinkFailure(0, 1), LinkRecovery(0, 1), CostChange(2, 5.0)]
+    run = api.run_dynamic_scenario(graph, events, engine="incremental")
+    assert run.all_ok and run.all_within_bound
 """
 
 from __future__ import annotations
 
 from repro import obs
+from repro.core.dynamics import run_dynamic_scenario
 from repro.core.protocol import (
     run_distributed_mechanism,
     verify_against_centralized,
@@ -55,5 +69,6 @@ __all__ = [
     "get_engine",
     "obs",
     "run_distributed_mechanism",
+    "run_dynamic_scenario",
     "verify_against_centralized",
 ]

@@ -11,7 +11,7 @@ records the reconvergence stages next to the new instance's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.bgp.engine import SynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery, NetworkEvent
@@ -27,6 +27,9 @@ from repro.exceptions import ExperimentError
 from repro.graphs.asgraph import ASGraph
 from repro.graphs.biconnectivity import is_biconnected
 from repro.types import Cost, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.routing.engines import Engine, EngineSpec
 
 
 def apply_event_to_graph(graph: ASGraph, event: NetworkEvent) -> ASGraph:
@@ -93,6 +96,9 @@ def run_dynamic_scenario(
     mode: UpdateMode = UpdateMode.MONOTONE,
     policy: Optional[SelectionPolicy] = None,
     max_stages: Optional[int] = None,
+    *,
+    engine: Optional["EngineSpec"] = None,
+    protocol: str = "delta",
 ) -> DynamicsRun:
     """Converge, then apply each event and reconverge, verifying every
     epoch against the centralized mechanism on the mutated graph.
@@ -100,20 +106,43 @@ def run_dynamic_scenario(
     Every intermediate graph must stay biconnected (otherwise the
     mechanism itself is undefined); a violating script raises
     :class:`ExperimentError` before the offending event is applied.
+
+    *engine* selects the route/price backend used for the per-epoch
+    centralized verification (name or instance; default: the reference
+    sweep).  It is resolved **once** and the same instance is reused
+    across every epoch -- this is what lets the stateful ``incremental``
+    engine carry its tree caches from one event to the next instead of
+    recomputing the mutated instance from scratch.
+
+    *protocol* selects the BGP transport of the distributed network
+    under test: ``delta`` (incremental row exchanges, the default) or
+    ``full`` (literal Sect. 5 full tables); results are bit-identical
+    either way.
     """
     policy = policy or LowestCostPolicy()
 
     def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
         return PriceComputingNode(node_id, cost, pol, mode=mode)
 
-    engine = SynchronousEngine(graph, policy=policy, node_factory=factory)
-    engine.initialize()
+    price_engine: Optional["Engine"] = None
+    if engine is not None:
+        from repro.routing.engines import resolve_engine
+
+        price_engine = resolve_engine(engine)
+
+    bgp = SynchronousEngine(
+        graph,
+        policy=policy,
+        node_factory=factory,
+        incremental=protocol != "full",
+    )
+    bgp.initialize()
     run = DynamicsRun()
     current = graph
 
-    report = engine.run(max_stages=max_stages)
+    report = bgp.run(max_stages=max_stages)
     run.epochs.append(
-        _epoch("initial convergence", current, engine, report, mode)
+        _epoch("initial convergence", current, bgp, report, mode, price_engine)
     )
 
     for event in events:
@@ -123,10 +152,12 @@ def run_dynamic_scenario(
                 f"event '{event.describe()}' breaks biconnectivity; "
                 "the mechanism is undefined on the resulting graph"
             )
-        event.apply(engine)
+        event.apply(bgp)
         current = mutated
-        report = engine.run(max_stages=max_stages)
-        run.epochs.append(_epoch(event.describe(), current, engine, report, mode))
+        report = bgp.run(max_stages=max_stages)
+        run.epochs.append(
+            _epoch(event.describe(), current, bgp, report, mode, price_engine)
+        )
     return run
 
 
@@ -136,11 +167,16 @@ def _epoch(
     engine: SynchronousEngine,
     report,
     mode: UpdateMode,
+    price_engine: Optional["Engine"] = None,
 ) -> EpochResult:
     result = DistributedPriceResult(
         graph=graph, engine=engine, report=report, mode=mode
     )
-    verification = verify_against_centralized(result)
+    # The centralized reference for the *mutated* graph: a stateful
+    # price engine (incremental) updates its cached trees here instead
+    # of recomputing all of them.
+    table = price_engine.price_table(graph) if price_engine is not None else None
+    verification = verify_against_centralized(result, table=table)
     # Cold-start reference run on the mutated graph: this is what
     # Theorem 2's bound is actually about.
     from repro.core.protocol import run_distributed_mechanism

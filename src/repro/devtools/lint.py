@@ -41,6 +41,16 @@ paper's correctness results depend on:
     ``time.perf_counter()`` / ``time.monotonic()`` family, which is
     what :mod:`repro.obs` stamps events with.
 
+``RPR006`` -- **no O(n + m) graph copies in routing hot paths.**
+    Inside ``routing/``, every ``.without_node()`` call allocates a
+    full copy of the AS graph; the avoiding-tree sweep makes one such
+    call per (destination, transit) pair, so the copies dominate the
+    mechanism's running time.  Use
+    :meth:`~repro.graphs.asgraph.ASGraph.masked_without_node`, which
+    answers the same reads through a copy-free view.  The copying
+    constructor remains legitimate where a true independent graph is
+    needed (``graphs/``, ``extensions/``, experiments, tests).
+
 A finding on a given line is suppressed by a trailing
 ``# repro-lint: ok`` comment, optionally scoped to codes:
 ``# repro-lint: ok(RPR001)``.  Suppressions are deliberate escape
@@ -67,7 +77,14 @@ __all__ = [
     "ALL_CODES",
 ]
 
-ALL_CODES: Tuple[str, ...] = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+ALL_CODES: Tuple[str, ...] = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+)
 
 #: Identifier tokens treated as "cost-like" by RPR001.
 _COST_TOKEN = re.compile(
@@ -95,6 +112,11 @@ _WALLCLOCK_SCOPE = ("bgp/", "core/", "routing/", "mechanism/", "obs/")
 
 #: ``time``-module functions that read the wall clock.
 _WALLCLOCK_FUNCS = frozenset({"time", "time_ns", "ctime", "gmtime", "localtime"})
+
+#: Subtree where graph copies are banned (RPR006): the routing hot
+#: paths, where :meth:`masked_without_node` answers the same reads
+#: without the O(n + m) allocation.
+_GRAPH_COPY_SCOPE = ("routing/",)
 
 _MUTATOR_METHODS = frozenset(
     {
@@ -389,6 +411,7 @@ class _RuleVisitor(ast.NodeVisitor):
         self._check_mutator_call(node)
         self._check_random_call(node)
         self._check_wallclock_call(node)
+        self._check_graph_copy_call(node)
         self.generic_visit(node)
 
     def _check_mutator_call(self, node: ast.Call) -> None:
@@ -513,6 +536,21 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"'numpy.random.{np_random_attr}' draws from numpy's "
                     "global state; use numpy.random.default_rng(seed)",
                 )
+
+    # -- RPR006 ------------------------------------------------------
+
+    def _check_graph_copy_call(self, node: ast.Call) -> None:
+        if not self._in_scope(_GRAPH_COPY_SCOPE):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "without_node":
+            self._emit(
+                node,
+                "RPR006",
+                "'.without_node()' copies the whole graph in a routing "
+                "hot path; use '.masked_without_node()', the copy-free "
+                "view with identical reads",
+            )
 
     # -- RPR005 ------------------------------------------------------
 

@@ -44,7 +44,19 @@ def _script_for(graph: ASGraph) -> List[NetworkEvent]:
     return events
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    engine: Optional[str] = None,
+    protocol: str = "delta",
+) -> ExperimentResult:
+    """*engine* selects the centralized verification backend (e.g.
+    ``incremental`` reuses cached route trees across the event script);
+    *protocol* selects the BGP transport (``delta`` | ``full``).  Both
+    are forwarded from the CLI's ``--engine`` / ``--protocol`` flags and
+    never change the verdict -- every backend/transport is held to the
+    same bit-identical routes and tolerance-checked prices.
+    """
     out = Table(
         title="Reconvergence under dynamics (Sect. 6)",
         headers=[
@@ -64,7 +76,9 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     passed = True
     for family, graph in standard_instances(scale, seed=seed):
         events = _script_for(graph)
-        run_result = run_dynamic_scenario(graph, events)
+        run_result = run_dynamic_scenario(
+            graph, events, engine=engine, protocol=protocol
+        )
         for epoch in run_result.epochs:
             passed = passed and epoch.ok and epoch.within_bound
             out.add_row(
@@ -82,14 +96,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         from repro.core.convergence import convergence_bound
         from repro.core.dynamics import apply_event_to_graph
 
-        engine = SynchronousEngine(graph)
-        engine.initialize()
-        engine.run()
+        warm_bgp = SynchronousEngine(graph)
+        warm_bgp.initialize()
+        warm_bgp.run()
         current = graph
         for event in events:
             current = apply_event_to_graph(current, event)
-            event.apply(engine)
-            report = engine.run()
+            event.apply(warm_bgp)
+            report = warm_bgp.run()
             bgp_warm.add_row(
                 family, event.describe(), report.stages, convergence_bound(current).d
             )

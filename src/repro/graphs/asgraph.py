@@ -13,10 +13,78 @@ methods that re-validate the model invariants.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.types import Cost, CostVector, Edge, NodeId, validate_cost
+
+
+class MaskedGraphView:
+    """A copy-free read view of an :class:`ASGraph` with one node hidden.
+
+    Behaves like the graph ``G - k`` for every read the routing kernels
+    perform (``neighbors`` / ``cost`` / ``nodes`` / containment) without
+    materializing new adjacency or cost dicts -- the k-avoiding price
+    sweep builds n of these per destination, so the copies that
+    :meth:`ASGraph.without_node` allocates dominate its running time.
+    The view is a snapshot-of-reference: it stays valid exactly as long
+    as the underlying graph is unmutated, which the graph guarantees
+    (all ASGraph "mutation" derives new instances).
+    """
+
+    __slots__ = ("_graph", "_masked")
+
+    def __init__(self, graph: "ASGraph", masked: NodeId) -> None:
+        if masked not in graph:
+            raise GraphError(f"unknown node {masked}")
+        self._graph = graph
+        self._masked = masked
+
+    @property
+    def masked(self) -> NodeId:
+        """The hidden node ``k``."""
+        return self._masked
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All visible node ids in ascending order."""
+        return tuple(n for n in self._graph.nodes if n != self._masked)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes - 1
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node != self._masked and node in self._graph
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        if self._masked in (u, v):
+            return False
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Visible neighbors of *node* in ascending order."""
+        if node == self._masked:
+            raise GraphError(f"unknown node {node}")
+        masked = self._masked
+        return tuple(n for n in self._graph.neighbors(node) if n != masked)
+
+    def degree(self, node: NodeId) -> int:
+        return len(self.neighbors(node))
+
+    def cost(self, node: NodeId) -> Cost:
+        if node == self._masked:
+            raise GraphError(f"unknown node {node}")
+        return self._graph.cost(node)
+
+    def __repr__(self) -> str:
+        return f"MaskedGraphView({self._graph!r} - node {self._masked})"
 
 
 class ASGraph:
@@ -194,12 +262,28 @@ class ASGraph:
         return ASGraph(nodes=new_costs.items(), edges=self._edges)
 
     def without_node(self, node: NodeId) -> "ASGraph":
-        """A copy with *node* and its links removed (for k-avoiding paths)."""
+        """A copy with *node* and its links removed (for k-avoiding paths).
+
+        This is the mutation-shaped API: it materializes a real
+        :class:`ASGraph` that can itself be mutated further.  Read-only
+        sweeps (the per-(destination, k) avoiding Dijkstras) should use
+        :meth:`masked_without_node`, which answers the same reads
+        without copying the adjacency and cost dicts.
+        """
         if node not in self._costs:
             raise GraphError(f"unknown node {node}")
         nodes = [(n, c) for n, c in self._costs.items() if n != node]
         edges = [(u, v) for u, v in self._edges if node not in (u, v)]
         return ASGraph(nodes=nodes, edges=edges)
+
+    def masked_without_node(self, node: NodeId) -> MaskedGraphView:
+        """A copy-free read view of ``G - node`` (for k-avoiding sweeps).
+
+        Equivalent to :meth:`without_node` for every read the routing
+        kernels perform, but O(1) to construct; the hot avoiding sweep
+        builds one per (destination, k) pair.
+        """
+        return MaskedGraphView(self, node)
 
     def without_edge(self, u: NodeId, v: NodeId) -> "ASGraph":
         """A copy with the link ``(u, v)`` removed (for failure dynamics)."""
@@ -253,3 +337,8 @@ class ASGraph:
 
     def __repr__(self) -> str:
         return f"ASGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+#: Anything the routing kernels can run a destination-rooted Dijkstra
+#: over: a real graph or a copy-free masked view of one.
+GraphLike = Union[ASGraph, MaskedGraphView]

@@ -178,10 +178,16 @@ def _price_table_reference(
     rows: Dict[PairKey, PriceRow] = {}
     for destination in graph.nodes:
         tree = routes.tree(destination)
-        transit = routes.transit_nodes(destination)
+        # One materialization of the per-destination structure: sources
+        # and their paths are walked once for the transit set and reused
+        # for the row sweep (transit_nodes() would re-sort and re-walk).
+        source_paths = [(source, tree.path(source)) for source in tree.sources()]
+        transit_set = set()
+        for _source, path in source_paths:
+            transit_set.update(path[1:-1])
+        transit = tuple(sorted(transit_set))
         detours = avoiding_costs_for_destination(graph, destination, transit)
-        for source in tree.sources():
-            path = tree.path(source)
+        for source, path in source_paths:
             if len(path) == 2:
                 continue  # direct link: no transit nodes, no prices
             row: PriceRow = {}

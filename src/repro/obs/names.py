@@ -56,6 +56,13 @@ ENGINE_SHARD_SIZE = "engine.shard.size"
 PRICE_ROWS = "mechanism.price_rows"
 ROUTE_TREES = "routing.route_trees"
 
+# -- incremental-engine cache accounting -------------------------------
+# hits: trees served from cache; misses: trees (re)computed;
+# invalidations: cached trees dropped by event-scoped invalidation.
+CACHE_HITS = "routing.cache.hits"
+CACHE_MISSES = "routing.cache.misses"
+CACHE_INVALIDATIONS = "routing.cache.invalidations"
+
 # -- span names --------------------------------------------------------
 SPAN_STAGE = "bgp.stage"
 SPAN_SYNC_RUN = "bgp.sync.run"

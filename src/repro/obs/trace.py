@@ -104,6 +104,14 @@ class TraceSummary:
     rows_suppressed: int = 0
     #: ``bgp.deliveries`` counter total (asynchronous engine).
     deliveries: int = 0
+    #: ``routing.cache.*`` totals (incremental engine): trees served
+    #: from cache / (re)computed / dropped by event invalidation.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    #: whether the trace recorded any ``routing.cache.*`` counter at
+    #: all (an all-miss cold run still reports zeros in the summary).
+    cache_seen: bool = False
     #: last per-node gauge values, keyed by node label.
     loc_rib_entries: Dict[Any, int] = field(default_factory=dict)
     adj_rib_in_entries: Dict[Any, int] = field(default_factory=dict)
@@ -178,6 +186,16 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
     summary.rows_sent = int(summary.counter_total(names.ROWS_SENT))
     summary.rows_suppressed = int(summary.counter_total(names.ROWS_SUPPRESSED))
     summary.deliveries = int(summary.counter_total(names.DELIVERIES))
+    summary.cache_hits = int(summary.counter_total(names.CACHE_HITS))
+    summary.cache_misses = int(summary.counter_total(names.CACHE_MISSES))
+    summary.cache_invalidations = int(
+        summary.counter_total(names.CACHE_INVALIDATIONS)
+    )
+    summary.cache_seen = any(
+        name
+        in (names.CACHE_HITS, names.CACHE_MISSES, names.CACHE_INVALIDATIONS)
+        for name, _labels in summary.counters
+    )
     summary.spans = {
         name: (int(count), total) for name, (count, total) in span_acc.items()
     }
@@ -211,6 +229,10 @@ def summary_tables(summary: TraceSummary, title: Optional[str] = None) -> List[A
         measures.add_row("rows suppressed by delta transport", summary.rows_suppressed)
     if summary.deliveries:
         measures.add_row("async deliveries", summary.deliveries)
+    if summary.cache_seen:
+        measures.add_row("route-tree cache hits", summary.cache_hits)
+        measures.add_row("route-tree cache misses", summary.cache_misses)
+        measures.add_row("route-tree cache invalidations", summary.cache_invalidations)
     measures.add_row("max Loc-RIB entries (per node)", summary.max_loc_rib)
     measures.add_row("max Adj-RIB-In entries (per node)", summary.max_adj_rib_in)
     measures.add_row("max price entries (per node)", summary.max_price_entries)

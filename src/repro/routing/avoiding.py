@@ -25,10 +25,16 @@ def avoiding_tree(graph: ASGraph, destination: NodeId, k: NodeId) -> RouteTree:
     Sources disconnected by the removal simply have no entry; queries on
     them raise :class:`UnreachableError` (on a biconnected graph this
     never happens).
+
+    ``G - k`` is realized as a copy-free
+    :class:`~repro.graphs.asgraph.MaskedGraphView`: the batched price
+    sweep builds one avoiding tree per (destination, k) pair, so
+    allocating a full :meth:`~repro.graphs.asgraph.ASGraph.without_node`
+    copy each time would dominate the sweep's running time.
     """
     if k == destination:
         raise UnreachableError(destination, destination, avoiding=k)
-    return route_tree(graph.without_node(k), destination)
+    return route_tree(graph.masked_without_node(k), destination)
 
 
 def avoiding_cost(graph: ASGraph, source: NodeId, destination: NodeId, k: NodeId) -> Cost:

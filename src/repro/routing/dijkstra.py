@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.exceptions import UnreachableError
-from repro.graphs.asgraph import ASGraph
+from repro.graphs.asgraph import ASGraph, GraphLike
 from repro.routing.tiebreak import RouteKey, route_key
 from repro.types import Cost, NodeId, PathTuple
 
@@ -94,7 +94,7 @@ class RouteTree:
         return iter(self.sources())
 
 
-def route_tree(graph: ASGraph, destination: NodeId) -> RouteTree:
+def route_tree(graph: GraphLike, destination: NodeId) -> RouteTree:
     """Compute the selected-LCP tree ``T(destination)``.
 
     Runs generalized Dijkstra rooted at the destination; relaxation
@@ -102,6 +102,10 @@ def route_tree(graph: ASGraph, destination: NodeId) -> RouteTree:
     the hop ``v -> u`` with ``u`` nearer the root), which keeps costs
     bit-identical to BGP's hop-by-hop accumulation.  Unreachable nodes
     simply have no entry (queries raise :class:`UnreachableError`).
+
+    *graph* may be a real :class:`ASGraph` or a copy-free
+    :class:`~repro.graphs.asgraph.MaskedGraphView` (the k-avoiding
+    sweep's representation of ``G - k``); only read access is used.
     """
     if destination not in graph:
         raise UnreachableError(destination, destination)

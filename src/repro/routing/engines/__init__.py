@@ -4,13 +4,14 @@ Every backend that can answer "all selected LCPs" / "all Theorem 1
 prices" for an :class:`~repro.graphs.asgraph.ASGraph` registers here
 under a stable name:
 
-========== =========================================== ==============
-name       backend                                     carries paths
-========== =========================================== ==============
-reference  serial pure Python (semantics-defining)     yes
-scipy      vectorized ``scipy.sparse.csgraph``         no (cost-only)
-parallel   multiprocessing shards of destinations      yes
-========== =========================================== ==============
+=========== =========================================== ==============
+name        backend                                     carries paths
+=========== =========================================== ==============
+reference   serial pure Python (semantics-defining)     yes
+scipy       vectorized ``scipy.sparse.csgraph``         no (cost-only)
+parallel    multiprocessing shards of destinations      yes
+incremental epoch-cached warm-start (stateful)          yes
+=========== =========================================== ==============
 
 Callers select an engine by name through the ``engine=`` parameter of
 :func:`repro.routing.allpairs.all_pairs_lcp` and
@@ -28,6 +29,7 @@ from typing import Any, Callable, Dict, List, Tuple, Type, Union, cast
 
 from repro.exceptions import EngineError
 from repro.routing.engines.base import CostMatrix, Engine
+from repro.routing.engines.incremental import CacheStats, IncrementalEngine
 from repro.routing.engines.parallel import (
     ParallelEngine,
     all_pairs_sharded,
@@ -38,9 +40,11 @@ from repro.routing.engines.reference import ReferenceEngine
 from repro.routing.engines.vectorized import ScipyEngine
 
 __all__ = [
+    "CacheStats",
     "CostMatrix",
     "Engine",
     "EngineSpec",
+    "IncrementalEngine",
     "ParallelEngine",
     "ReferenceEngine",
     "ScipyEngine",
@@ -108,3 +112,4 @@ def resolve_engine(engine: EngineSpec) -> Engine:
 register(ReferenceEngine)
 register(ScipyEngine)
 register(ParallelEngine)
+register(IncrementalEngine)

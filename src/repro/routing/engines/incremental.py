@@ -1,0 +1,577 @@
+"""The incremental warm-start engine: epoch-keyed route/price caching.
+
+The paper's Sect. 6 model restarts convergence on every network event,
+and the E10 dynamics driver mirrors that by recomputing the entire
+centralized reference -- O(n^2) destination-rooted Dijkstras plus the
+per-(destination, k) avoiding sweep -- from scratch after each event.
+A single event, however, typically perturbs a small fraction of the
+route trees.  This engine keeps every tree computed so far cached
+across *graph epochs* and, when handed a mutated graph, recomputes only
+the trees the mutation can affect.
+
+Invalidation rules (soundness sketches; full argument in DESIGN.md
+paragraph 11):
+
+* ``CostChange(x)`` -- a route tree ``T(j)`` changes only if ``x`` is a
+  transit node on some selected path toward ``j`` (equivalently: ``x``
+  has a child in the tree), or the change is a *decrease* and some
+  source's lower-bound cost through ``x`` -- ``d(i, x) + c_x' +
+  d(x, j)``, read from the cached trees, whose ``d`` terms exclude
+  ``c_x`` and are therefore unchanged -- reaches its incumbent cost.
+  Increases elsewhere only worsen non-selected candidates.  An avoiding
+  tree for ``(j, k)`` is additionally immune when ``k == x``: the graph
+  ``G - k`` it was built in no longer contains ``x``.
+* ``LinkFailure(u, v)`` -- removing candidates can only affect trees
+  whose *tree edges* include ``(u, v)``; every other tree's selected
+  paths survive verbatim and remain minimal over the smaller candidate
+  set.  Avoiding trees with ``k in (u, v)`` never contained the link.
+* ``LinkRecovery(u, v)`` -- adding candidates affects a tree only where
+  the new link could improve (or tie) a label: any simple path through
+  the link decomposes into segments that avoid it, so segment costs are
+  bounded below by the *cached pre-event* distances, giving a sound
+  per-source test ``d(i, a) + c_a + c_b + d(b, j) > Cost(P(c; i, j))``
+  over both orientations of the link.  Ties conservatively invalidate
+  (the canonical tie-break could prefer the new path).
+
+Compound diffs compose soundly as long as at most one change is
+*improving* (a cost decrease or a link addition): worsening changes
+only raise the true distances the bounds underestimate.  Any diff with
+two or more improving changes, or a changed node set, falls back to a
+full rebuild.
+
+The correctness bar is the repo's standard one: bit-identical
+:class:`~repro.routing.allpairs.AllPairsRoutes` and
+:class:`~repro.mechanism.vcg.PriceTable` versus the reference engine
+after every epoch (``tests/test_incremental_engine.py`` drives
+randomized event sequences through both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Set, Tuple
+
+import repro.obs as obs_mod
+from repro.devtools import sanitize as sanitize_checks
+from repro.exceptions import (
+    DisconnectedGraphError,
+    MechanismError,
+    NotBiconnectedError,
+)
+from repro.graphs.asgraph import ASGraph
+from repro.obs import names as metric_names
+from repro.routing.dijkstra import RouteTree, route_tree
+from repro.routing.engines.base import Engine
+from repro.types import EPSILON, Cost, Edge, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
+    from repro.mechanism.vcg import PriceRow, PriceTable
+    from repro.routing.allpairs import AllPairsRoutes
+
+PairKey = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class CacheStats:
+    """Lifetime cache accounting for one :class:`IncrementalEngine`.
+
+    ``hits``/``misses`` count *tree reuses* vs *tree (re)computations*
+    (route and avoiding trees alike; a destination whose price rows are
+    served from cache counts one hit per avoiding tree those rows
+    used).  ``invalidations`` counts cached trees dropped by event
+    invalidation, and ``dijkstra_runs`` counts actual
+    :func:`~repro.routing.dijkstra.route_tree` invocations -- the
+    currency the dynamics benchmark compares against the reference
+    engine's ``n + sum_j |transit(j)|`` per epoch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    dijkstra_runs: int = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        return (self.hits, self.misses, self.invalidations, self.dijkstra_runs)
+
+
+class IncrementalEngine(Engine):
+    """Path engine with epoch-keyed caching and event-scoped invalidation.
+
+    Unlike the other registered engines this one is *stateful*: the
+    speedup comes from holding one instance across a sequence of
+    related graphs (the dynamics driver resolves its ``engine=`` spec
+    once per scenario for exactly this reason).  Used one-shot it
+    degrades gracefully to the reference behavior (every tree a miss).
+    """
+
+    name: ClassVar[str] = "incremental"
+    carries_paths: ClassVar[bool] = True
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._graph: Optional[ASGraph] = None
+        self._costs: Dict[NodeId, Cost] = {}
+        self._edges: Set[Edge] = set()
+        self._trees: Dict[NodeId, RouteTree] = {}
+        self._avoiding: Dict[NodeId, Dict[NodeId, RouteTree]] = {}
+        self._rows: Dict[NodeId, Dict[PairKey, "PriceRow"]] = {}
+        self._row_transit: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Public cache control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every cached tree and price row (cold restart)."""
+        self._graph = None
+        self._costs = {}
+        self._edges = set()
+        self._trees = {}
+        self._avoiding = {}
+        self._rows = {}
+        self._row_transit = {}
+
+    @property
+    def cached_destinations(self) -> int:
+        return len(self._trees)
+
+    # ------------------------------------------------------------------
+    # Engine interface (observer-aware wrappers add cache counters)
+    # ------------------------------------------------------------------
+    def all_pairs(
+        self,
+        graph: ASGraph,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
+    ) -> "AllPairsRoutes":
+        observer = obs_mod.active(obs)
+        if observer is None:
+            return self._all_pairs(graph)
+        before = self.stats.snapshot()
+        with observer.span(metric_names.SPAN_ENGINE_ALL_PAIRS, engine=self.name):
+            routes = self._all_pairs(graph)
+        observer.count(metric_names.ROUTE_TREES, len(routes.trees), engine=self.name)
+        self._emit_cache_counters(observer, before)
+        return routes
+
+    def price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+        *,
+        obs: Optional[obs_mod.Obs] = None,
+    ) -> "PriceTable":
+        observer = obs_mod.active(obs)
+        if observer is None:
+            return self._price_table(graph, routes=routes)
+        before = self.stats.snapshot()
+        with observer.span(metric_names.SPAN_ENGINE_PRICE_TABLE, engine=self.name):
+            table = self._price_table(graph, routes=routes)
+        observer.count(metric_names.PRICE_ROWS, len(table.rows), engine=self.name)
+        self._emit_cache_counters(observer, before)
+        return table
+
+    def _emit_cache_counters(
+        self, observer: obs_mod.Obs, before: Tuple[int, int, int, int]
+    ) -> None:
+        hits, misses, invalidations, _runs = self.stats.snapshot()
+        observer.count(metric_names.CACHE_HITS, hits - before[0], engine=self.name)
+        observer.count(metric_names.CACHE_MISSES, misses - before[1], engine=self.name)
+        observer.count(
+            metric_names.CACHE_INVALIDATIONS,
+            invalidations - before[2],
+            engine=self.name,
+        )
+
+    def _all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
+        from repro.routing.allpairs import AllPairsRoutes
+
+        self._sync(graph)
+        return AllPairsRoutes(graph=graph, trees=dict(self._trees))
+
+    def _price_table(
+        self,
+        graph: ASGraph,
+        routes: Optional["AllPairsRoutes"] = None,
+    ) -> "PriceTable":
+        from repro.mechanism.vcg import PriceTable
+        from repro.routing.allpairs import AllPairsRoutes
+
+        self._sync(graph)
+        if routes is None:
+            routes = AllPairsRoutes(graph=graph, trees=dict(self._trees))
+        rows: Dict[PairKey, "PriceRow"] = {}
+        for destination in graph.nodes:
+            cached = self._rows.get(destination)
+            if cached is not None:
+                self.stats.hits += len(self._row_transit.get(destination, ()))
+                rows.update(cached)
+                continue
+            dest_rows, transit = self._build_rows(graph, destination)
+            self._rows[destination] = dest_rows
+            self._row_transit[destination] = transit
+            rows.update(dest_rows)
+        table = PriceTable(routes=routes, rows=rows)
+        if sanitize_checks.enabled():
+            sanitize_checks.check_price_table(graph, table)
+        return table
+
+    # ------------------------------------------------------------------
+    # Epoch synchronization
+    # ------------------------------------------------------------------
+    def _sync(self, graph: ASGraph) -> None:
+        """Bring the tree caches up to date for *graph*'s epoch."""
+        if self._graph is graph:
+            return
+        if self._graph is None:
+            self._rebuild_all(graph)
+            return
+        new_costs = graph.costs()
+        if set(new_costs) != set(self._costs):
+            self._rebuild_all(graph)
+            return
+        old_costs = self._costs
+        changed = sorted(
+            # Declared costs are raw inputs, not derived arithmetic:
+            # exact comparison is the epoch-diff definition (same
+            # rationale as ASGraph.__eq__).
+            x
+            for x in new_costs
+            if new_costs[x] != old_costs[x]  # repro-lint: ok(RPR001)
+        )
+        new_edges = set(graph.edges)
+        removed = sorted(self._edges - new_edges)
+        added = sorted(new_edges - self._edges)
+        if not changed and not removed and not added:
+            self._graph = graph
+            return
+        improving = len(added) + sum(
+            1 for x in changed if new_costs[x] < old_costs[x]
+        )
+        if improving > 1:
+            # The per-change bounds below assume cached distances stay
+            # valid lower bounds; two concurrent improvements can feed
+            # each other, so fall back to a full rebuild.
+            self._rebuild_all(graph)
+            return
+
+        invalid_trees = [
+            j
+            for j in sorted(self._trees)
+            if self._tree_affected(
+                self._trees[j], j, changed, old_costs, new_costs, removed, added
+            )
+        ]
+        invalid_avoiding: List[Tuple[NodeId, NodeId]] = []
+        for j in sorted(self._avoiding):
+            cache_j = self._avoiding[j]
+            for k in sorted(cache_j):
+                if self._avoid_affected(
+                    cache_j[k], j, k, changed, old_costs, new_costs, removed, added
+                ):
+                    invalid_avoiding.append((j, k))
+
+        self.stats.invalidations += len(invalid_trees) + len(invalid_avoiding)
+
+        # Recompute invalidated route trees first: the invalidation
+        # tests are conservative, so many recomputed trees come back
+        # bit-identical.  Those destinations keep their avoiding/row
+        # caches -- an identical tree certifies identical selected
+        # paths, costs, and transit set, hence identical ``c_k`` row
+        # inputs (a changed transit cost would have changed some path
+        # cost); the avoiding trees are invalidation-tracked on their
+        # own.  Any error below leaves every cache at the previous
+        # epoch, so the next sync simply re-runs the same diff.
+        new_trees = dict(self._trees)
+        expected = graph.num_nodes - 1
+        changed_trees: List[NodeId] = []
+        for j in invalid_trees:
+            tree = route_tree(graph, j)
+            self.stats.misses += 1
+            self.stats.dijkstra_runs += 1
+            if len(tree.sources()) != expected:
+                missing = set(graph.nodes) - set(tree.sources()) - {j}
+                raise DisconnectedGraphError(
+                    f"nodes {sorted(missing)} cannot reach {j}"
+                )
+            if tree != self._trees[j]:
+                changed_trees.append(j)
+            new_trees[j] = tree
+        self.stats.hits += len(self._trees) - len(invalid_trees)
+
+        dirty_rows = set(changed_trees)
+        for j, k in invalid_avoiding:
+            del self._avoiding[j][k]
+            if k in self._row_transit.get(j, ()):
+                dirty_rows.add(j)
+        for j in sorted(dirty_rows):
+            self._rows.pop(j, None)
+            self._row_transit.pop(j, None)
+        self._trees = new_trees
+        self._graph = graph
+        self._costs = new_costs
+        self._edges = new_edges
+
+    def _rebuild_all(self, graph: ASGraph) -> None:
+        """Cold start: recompute every route tree, drop derived caches."""
+        self.stats.invalidations += len(self._trees) + sum(
+            len(cache) for cache in self._avoiding.values()
+        )
+        self.reset()
+        trees: Dict[NodeId, RouteTree] = {}
+        expected = graph.num_nodes - 1
+        for destination in graph.nodes:
+            tree = route_tree(graph, destination)
+            self.stats.misses += 1
+            self.stats.dijkstra_runs += 1
+            if len(tree.sources()) != expected:
+                missing = set(graph.nodes) - set(tree.sources()) - {destination}
+                raise DisconnectedGraphError(
+                    f"nodes {sorted(missing)} cannot reach {destination}"
+                )
+            trees[destination] = tree
+        self._trees = trees
+        self._graph = graph
+        self._costs = graph.costs()
+        self._edges = set(graph.edges)
+
+    # ------------------------------------------------------------------
+    # Invalidation tests (all evaluated against the *pre-event* caches)
+    # ------------------------------------------------------------------
+    def _tree_affected(
+        self,
+        tree: RouteTree,
+        j: NodeId,
+        changed: List[NodeId],
+        old_costs: Dict[NodeId, Cost],
+        new_costs: Dict[NodeId, Cost],
+        removed: List[Edge],
+        added: List[Edge],
+    ) -> bool:
+        parents = tree.parents
+        for u, v in removed:
+            if parents.get(u) == v or parents.get(v) == u:
+                return True
+        if changed:
+            transit = set(parents.values())
+            for x in changed:
+                if x == j:
+                    continue
+                if x in transit:
+                    return True
+                if new_costs[x] < old_costs[x] and not self._decrease_safe(
+                    tree, j, x, new_costs[x]
+                ):
+                    return True
+        for u, v in added:
+            if not self._edge_safe(tree, u, v, j, new_costs):
+                return True
+        return False
+
+    def _avoid_affected(
+        self,
+        avoid: RouteTree,
+        j: NodeId,
+        k: NodeId,
+        changed: List[NodeId],
+        old_costs: Dict[NodeId, Cost],
+        new_costs: Dict[NodeId, Cost],
+        removed: List[Edge],
+        added: List[Edge],
+    ) -> bool:
+        parents = avoid.parents
+        for u, v in removed:
+            if k in (u, v):
+                continue  # G - k never contained this link
+            if parents.get(u) == v or parents.get(v) == u:
+                return True
+        if changed:
+            transit = set(parents.values())
+            for x in changed:
+                if x in (j, k):
+                    continue  # endpoint cost / node absent from G - k
+                if x in transit:
+                    return True
+                if new_costs[x] < old_costs[x] and not self._avoid_decrease_safe(
+                    avoid, j, x, new_costs[x]
+                ):
+                    return True
+        for u, v in added:
+            if k in (u, v):
+                continue
+            if not self._avoid_edge_safe(avoid, j, k, u, v, new_costs):
+                return True
+        return False
+
+    def _decrease_safe(
+        self, tree: RouteTree, j: NodeId, x: NodeId, new_cost: Cost
+    ) -> bool:
+        """No source's through-``x`` lower bound reaches its incumbent.
+
+        ``d(i, x)`` and ``d(x, j)`` exclude ``c_x`` (endpoint costs are
+        free), so the cached pre-event trees provide them unchanged.
+        """
+        # Hot loop over every cached tree: read the cost dicts directly
+        # (the predicate is order-independent, so no sorted() needed).
+        x_costs = self._trees[x]._costs
+        offset = new_cost + tree.cost(x) - EPSILON
+        for i, incumbent in tree._costs.items():
+            if i == x:
+                continue  # paths from x never transit x: label unchanged
+            if x_costs[i] + offset <= incumbent:
+                return False
+        return True
+
+    def _avoid_decrease_safe(
+        self, avoid: RouteTree, j: NodeId, x: NodeId, new_cost: Cost
+    ) -> bool:
+        """Decrease bound for ``G - k`` trees.
+
+        The ``x -> j`` segment of a through-``x`` candidate lies in
+        ``G - k`` itself, so the cached avoiding tree gives its cost
+        *exactly* (``x`` is an endpoint, so the decreased ``c_x`` is
+        uncounted; any other same-diff change is worsening, keeping the
+        cached value a lower bound).  Only the ``i -> x`` segment falls
+        back to the full-graph distance.  Reachability in ``G - k`` is
+        cost-independent, so sources absent from the avoiding tree stay
+        absent -- and if ``x`` itself is absent, no k-avoiding path
+        through ``x`` exists at all.
+        """
+        dist_xj = avoid._costs.get(x)
+        if dist_xj is None:
+            return True
+        x_costs = self._trees[x]._costs
+        offset = new_cost + dist_xj - EPSILON
+        for i, incumbent in avoid._costs.items():
+            if i == x:
+                continue
+            if x_costs[i] + offset <= incumbent:
+                return False
+        return True
+
+    def _edge_safe(
+        self,
+        tree: RouteTree,
+        u: NodeId,
+        v: NodeId,
+        j: NodeId,
+        new_costs: Dict[NodeId, Cost],
+    ) -> bool:
+        """No simple path through the new link can reach an incumbent.
+
+        Any simple path using ``(u, v)`` decomposes into link-free
+        segments, so pre-event distances bound the segments below; both
+        orientations of the link are tested.
+        """
+        for a, b in ((u, v), (v, u)):
+            if a == j:
+                continue  # j interior to a simple path toward j: impossible
+            a_costs = self._trees[a]._costs
+            cost_b = 0.0 if b == j else new_costs[b]
+            dist_bj = tree.cost(b) if b != j else 0.0
+            cost_a = new_costs[a]
+            offset = cost_a + cost_b + dist_bj - EPSILON
+            for i, incumbent in tree._costs.items():
+                if b == i:
+                    continue  # the link would re-enter the source
+                if a == i:
+                    if cost_b + dist_bj - EPSILON <= incumbent:
+                        return False
+                    continue
+                if a_costs[i] + offset <= incumbent:
+                    return False
+        return True
+
+    def _avoid_edge_safe(
+        self,
+        avoid: RouteTree,
+        j: NodeId,
+        k: NodeId,
+        u: NodeId,
+        v: NodeId,
+        new_costs: Dict[NodeId, Cost],
+    ) -> bool:
+        """Edge-recovery bound for ``G - k`` trees.
+
+        A new link can also *reconnect* sources that had no k-avoiding
+        path at all, so an incomplete avoiding tree is invalidated
+        outright.  For complete trees the ``b -> j`` segment of any
+        simple path using the link lies in ``G - k`` *without* that
+        link -- exactly the graph the cached avoiding tree describes --
+        so the tree's own distance bounds it (exactly on a pure edge
+        event; from below when worsening changes share the diff).  The
+        ``i -> a`` segment falls back to the full-graph distance.
+        """
+        graph = self._graph
+        assert graph is not None
+        if len(avoid._costs) != graph.num_nodes - 2:
+            return False
+        for a, b in ((u, v), (v, u)):
+            if a == j:
+                continue
+            a_costs = self._trees[a]._costs
+            cost_b = 0.0 if b == j else new_costs[b]
+            dist_bj = avoid._costs[b] if b != j else 0.0
+            cost_a = new_costs[a]
+            offset = cost_a + cost_b + dist_bj - EPSILON
+            for i, incumbent in avoid._costs.items():
+                if b == i:
+                    continue
+                if a == i:
+                    if cost_b + dist_bj - EPSILON <= incumbent:
+                        return False
+                    continue
+                if a_costs[i] + offset <= incumbent:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Price rows
+    # ------------------------------------------------------------------
+    def _build_rows(
+        self, graph: ASGraph, destination: NodeId
+    ) -> Tuple[Dict[PairKey, "PriceRow"], Tuple[NodeId, ...]]:
+        """The reference Theorem 1 sweep for one destination, with the
+        avoiding trees served from (and committed to) the cache."""
+        tree = self._trees[destination]
+        source_paths = [
+            (source, tree.path(source)) for source in tree.sources()
+        ]
+        transit_set = set()
+        for _source, path in source_paths:
+            transit_set.update(path[1:-1])
+        transit = tuple(sorted(transit_set))
+        cache = self._avoiding.setdefault(destination, {})
+        detours: Dict[NodeId, RouteTree] = {}
+        for k in transit:
+            cached = cache.get(k)
+            if cached is None:
+                cached = route_tree(graph.masked_without_node(k), destination)
+                cache[k] = cached
+                self.stats.misses += 1
+                self.stats.dijkstra_runs += 1
+            else:
+                self.stats.hits += 1
+            detours[k] = cached
+        rows: Dict[PairKey, "PriceRow"] = {}
+        for source, path in source_paths:
+            if len(path) == 2:
+                continue  # direct link: no transit nodes, no prices
+            row: "PriceRow" = {}
+            for k in path[1:-1]:
+                detour = detours[k]
+                if not detour.has_route(source):
+                    raise NotBiconnectedError(
+                        message=(
+                            f"price p^{k}_{{{source},{destination}}} undefined: "
+                            f"no {k}-avoiding path (graph not biconnected)"
+                        )
+                    )
+                price = graph.cost(k) + detour.cost(source) - tree.cost(source)
+                if price < -1e-9:
+                    raise MechanismError(
+                        f"negative VCG price {price} for k={k}, pair "
+                        f"({source}, {destination}); avoiding cost below LCP cost"
+                    )
+                row[k] = price
+            rows[(source, destination)] = row
+        return rows, transit

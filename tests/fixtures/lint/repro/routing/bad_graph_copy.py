@@ -1,0 +1,21 @@
+"""Known-bad fixture: RPR006 -- graph copies in routing hot paths."""
+
+
+def detour_tree(graph, destination, k):
+    masked = graph.without_node(k)
+    return masked, destination
+
+
+def all_detours(graph, destinations, route_tree):
+    trees = []
+    for j in sorted(destinations):
+        trees.append(route_tree(graph.without_node(j), j))
+    return trees
+
+
+def nested_receiver(engine, k):
+    return engine.graph().without_node(k)
+
+
+def masked_view_is_fine(graph, k):
+    return graph.masked_without_node(k)

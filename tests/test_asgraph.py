@@ -165,6 +165,62 @@ class TestDerivation:
         assert triangle != triangle.with_cost(0, 9.0)
 
 
+class TestMaskedView:
+    """masked_without_node must be read-equivalent to without_node."""
+
+    def test_view_copy_equivalence(self, fig1):
+        for masked in fig1.nodes:
+            view = fig1.masked_without_node(masked)
+            copy = fig1.without_node(masked)
+            assert view.nodes == copy.nodes
+            assert view.num_nodes == copy.num_nodes
+            assert len(view) == len(copy)
+            assert list(view) == list(copy)
+            for node in copy.nodes:
+                assert view.neighbors(node) == copy.neighbors(node)
+                assert view.degree(node) == copy.degree(node)
+                assert view.cost(node) == copy.cost(node)
+                assert (node in view) == (node in copy)
+            assert masked not in view
+            for u in fig1.nodes:
+                for v in fig1.nodes:
+                    assert view.has_edge(u, v) == copy.has_edge(u, v)
+
+    def test_view_route_trees_match_copy(self, fig1):
+        from repro.routing.dijkstra import route_tree
+
+        for masked in fig1.nodes:
+            for destination in fig1.nodes:
+                if destination == masked:
+                    continue
+                via_view = route_tree(fig1.masked_without_node(masked), destination)
+                via_copy = route_tree(fig1.without_node(masked), destination)
+                assert via_view.parents == via_copy.parents
+                for source in via_copy.sources():
+                    assert via_view.path(source) == via_copy.path(source)
+                    assert via_view.cost(source) == via_copy.cost(source)
+
+    def test_view_is_copy_free(self, fig1):
+        view = fig1.masked_without_node(0)
+        assert view.masked == 0
+        # snapshot-of-reference: no adjacency/cost dicts of its own
+        assert not hasattr(view, "__dict__")
+
+    def test_view_masked_node_queries_raise(self, fig1):
+        view = fig1.masked_without_node(2)
+        with pytest.raises(GraphError, match="unknown node"):
+            view.neighbors(2)
+        with pytest.raises(GraphError, match="unknown node"):
+            view.cost(2)
+
+    def test_view_unknown_masked_node_rejected(self, fig1):
+        with pytest.raises(GraphError, match="unknown node"):
+            fig1.masked_without_node(99)
+
+    def test_view_repr(self, triangle):
+        assert "MaskedGraphView" in repr(triangle.masked_without_node(1))
+
+
 class TestConnectivity:
     def test_connected(self, triangle):
         assert triangle.is_connected()

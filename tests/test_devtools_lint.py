@@ -41,6 +41,7 @@ class TestFixtureFiles:
             ("core/bad_set_iter.py", "RPR003", 3),
             ("bgp/bad_random.py", "RPR004", 5),
             ("bgp/bad_wallclock.py", "RPR005", 3),
+            ("routing/bad_graph_copy.py", "RPR006", 3),
         ],
     )
     def test_fixture_fires_rule(self, fixture, code, count):
@@ -206,6 +207,30 @@ class TestRule005WallClock:
     def test_outside_protocol_scope_passes(self):
         source = "import time\nt = time.time()\n"
         assert lint_source(source, "experiments/x.py") == []
+
+
+class TestRule006GraphCopies:
+    def test_without_node_in_routing(self):
+        source = "tree = route_tree(graph.without_node(k), j)\n"
+        assert codes_in(lint_source(source, "routing/avoiding.py")) == {"RPR006"}
+
+    def test_without_node_in_engine_code(self):
+        source = "g = self._graph.without_node(k)\n"
+        assert codes_in(lint_source(source, "routing/engines/x.py")) == {"RPR006"}
+
+    def test_masked_view_passes(self):
+        source = "tree = route_tree(graph.masked_without_node(k), j)\n"
+        assert lint_source(source, "routing/avoiding.py") == []
+
+    def test_outside_routing_passes(self):
+        # The copying constructor is the point where a true independent
+        # graph is needed (biconnectivity probes, experiments, tests).
+        source = "sides = components(current.without_node(cut))\n"
+        assert lint_source(source, "graphs/biconnectivity.py") == []
+
+    def test_suppression_applies(self):
+        source = "g = graph.without_node(k)  # repro-lint: ok(RPR006)\n"
+        assert lint_source(source, "routing/x.py") == []
 
 
 class TestSuppression:

@@ -9,6 +9,7 @@ from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.engines import (
     Engine,
+    IncrementalEngine,
     ParallelEngine,
     ReferenceEngine,
     ScipyEngine,
@@ -21,12 +22,13 @@ from repro.routing.engines import (
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert engine_names() == ("parallel", "reference", "scipy")
+        assert engine_names() == ("incremental", "parallel", "reference", "scipy")
 
     def test_get_engine_instantiates(self):
         assert isinstance(get_engine("reference"), ReferenceEngine)
         assert isinstance(get_engine("scipy"), ScipyEngine)
         assert isinstance(get_engine("parallel"), ParallelEngine)
+        assert isinstance(get_engine("incremental"), IncrementalEngine)
 
     def test_get_engine_forwards_options(self):
         assert get_engine("parallel", workers=2).workers == 2
@@ -47,6 +49,7 @@ class TestRegistry:
     def test_capabilities(self):
         assert get_engine("reference").carries_paths
         assert get_engine("parallel").carries_paths
+        assert get_engine("incremental").carries_paths
         assert not get_engine("scipy").carries_paths
 
 
@@ -68,7 +71,7 @@ class TestEngineParameter:
         engine = ParallelEngine(workers=1)
         assert all_pairs_lcp(fig1, engine=engine).paths == default.paths
 
-    @pytest.mark.parametrize("name", ["reference", "scipy", "parallel"])
+    @pytest.mark.parametrize("name", ["reference", "scipy", "parallel", "incremental"])
     def test_compute_price_table_dispatches(self, fig1, name):
         default = compute_price_table(fig1)
         assert compute_price_table(fig1, engine=name).rows == default.rows
