@@ -3,13 +3,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-protocol bench-dynamics sanitize-test test-engines trace-smoke
+.PHONY: check lint analyze test bench bench-protocol bench-dynamics bench-analyzer sanitize-test test-engines trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
 
 lint:
 	$(PYTHON) -m repro.devtools.lint
+
+# interprocedural determinism/contract analyzer (RPR007-RPR010):
+# fails on any finding not grandfathered by flow_baseline.json, and on
+# stale `# repro-lint: ok` suppressions
+analyze:
+	$(PYTHON) -m repro.devtools.flow src/repro
+	$(PYTHON) -m repro.devtools.flow src/repro --check-suppressions
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,3 +59,9 @@ bench-protocol:
 # to the cold reference (quick: 4 events at n = 200; drop --quick for 12)
 bench-dynamics:
 	$(PYTHON) benchmarks/bench_dynamics_incremental.py --quick --out BENCH_dynamics.json
+
+# analyzer wall-clock benchmark: full-tree analysis must stay under
+# ~5 s so the contract gate remains a per-commit check; writes
+# BENCH_analyzer.json at the repo root
+bench-analyzer:
+	$(PYTHON) benchmarks/bench_analyzer.py --out BENCH_analyzer.json

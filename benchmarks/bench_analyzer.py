@@ -1,0 +1,113 @@
+"""Analyzer benchmark: full-tree wall-clock for repro.devtools.flow (BENCH_analyzer.json).
+
+The interprocedural contract analyzer is wired into the per-commit gate
+(``devtools.check``'s ``flow`` step and ``make analyze``), so its cost
+is paid on every commit: it must stay a static-check budget, not a test
+budget.  This benchmark runs the whole-program analysis over
+``src/repro`` several times, records per-run wall-clock plus the
+program size it covered (modules, functions, findings), and exits
+non-zero if the slowest run breaches the gate budget (default 5 s).
+
+Output goes to ``BENCH_analyzer.json`` (``make bench-analyzer`` writes
+it at the repo root).  Run directly::
+
+    python benchmarks/bench_analyzer.py --out BENCH_analyzer.json
+
+or via pytest (``make bench``), where one timed run doubles as a
+regression assertion on the budget.
+
+This module must stay importable with the baseline toolchain only (in
+particular: no scipy) -- `repro.devtools.check` enforces that for the
+whole benchmarks/ directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.devtools.flow import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+#: Gate budget in seconds: the analyzer must finish a full-tree pass
+#: well within this for the per-commit gate to stay cheap.
+DEFAULT_BUDGET_S = 5.0
+DEFAULT_REPEATS = 3
+
+
+def run_benchmark(repeats: int = DEFAULT_REPEATS) -> Dict[str, Any]:
+    timings: List[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = analyze_paths([SRC_REPRO])
+        timings.append(time.perf_counter() - started)
+    assert result is not None
+    return {
+        "target": str(SRC_REPRO.relative_to(REPO_ROOT)),
+        "repeats": repeats,
+        "wall_clock_s": [round(t, 4) for t in timings],
+        "best_s": round(min(timings), 4),
+        "worst_s": round(max(timings), 4),
+        "modules": result.modules,
+        "functions": result.functions,
+        "findings": len(result.findings),
+        "counts": result.counts(),
+        "python": platform.python_version(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the benchmark record as JSON",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, help="timed runs"
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_S,
+        help="wall-clock gate in seconds (worst run must stay under it)",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(repeats=args.repeats)
+    record["budget_s"] = args.budget
+    record["within_budget"] = record["worst_s"] < args.budget
+    print(
+        f"flow analyzer: {record['modules']} modules / "
+        f"{record['functions']} functions, best {record['best_s']:.3f} s, "
+        f"worst {record['worst_s']:.3f} s (budget {args.budget:.1f} s)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if not record["within_budget"]:
+        print(
+            f"FAIL: worst run {record['worst_s']:.3f} s exceeds the "
+            f"{args.budget:.1f} s gate budget"
+        )
+        return 1
+    return 0
+
+
+def test_analyzer_within_budget() -> None:
+    """Pytest hook (``make bench``): one timed run under the gate."""
+    record = run_benchmark(repeats=1)
+    assert record["worst_s"] < DEFAULT_BUDGET_S, record
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

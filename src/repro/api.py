@@ -22,6 +22,9 @@ not.  One symbol per concept:
   after every event (``engine="incremental"`` makes the per-epoch
   verification warm-start from cached route trees).
 * :func:`fig1_graph` -- the paper's Figure 1 worked example.
+* :func:`analyze_paths` -- the interprocedural determinism/contract
+  analyzer (``repro.devtools.flow``); returns the contract findings and
+  per-function effect summaries for a source tree.
 * :mod:`obs` -- the observability layer (spans, counters, gauges,
   trace sinks); off by default with zero overhead.
 
@@ -51,6 +54,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.core.dynamics import run_dynamic_scenario
+from repro.devtools.flow import analyze_paths
 from repro.core.protocol import (
     run_distributed_mechanism,
     verify_against_centralized,
@@ -64,6 +68,7 @@ from repro.routing.engines import get_engine
 __all__ = [
     "ASGraph",
     "all_pairs_lcp",
+    "analyze_paths",
     "compute_price_table",
     "fig1_graph",
     "get_engine",

@@ -132,8 +132,8 @@ class RouteAdvertisement:
             and self.path == other.path
             and self.cost == other.cost  # repro-lint: ok(RPR001)
             and self.generation == other.generation
-            and dict(self.node_costs) == dict(other.node_costs)  # repro-lint: ok(RPR001)
-            and dict(self.prices) == dict(other.prices)  # repro-lint: ok(RPR001)
+            and dict(self.node_costs) == dict(other.node_costs)
+            and dict(self.prices) == dict(other.prices)
         )
 
     def __hash__(self) -> int:
@@ -208,13 +208,13 @@ def row_materially_different(
     # bit-identically, so any difference is a real route change.
     if old.path != new.path or old.cost != new.cost:  # repro-lint: ok(RPR001)
         return True
-    if dict(old.node_costs) != dict(new.node_costs):  # repro-lint: ok(RPR001)
+    if dict(old.node_costs) != dict(new.node_costs):
         return True
     if set(old.prices) != set(new.prices):
         return True
     for k, value in new.prices.items():
         previous = old.prices[k]
-        if previous == value:  # repro-lint: ok(RPR001)
+        if previous == value:
             continue
         if math.isinf(previous) or math.isinf(value):
             return True

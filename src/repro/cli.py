@@ -8,6 +8,7 @@ Subcommands::
     repro-cli all [--scale full] [--write-md EXPERIMENTS.md] [--trace out.jsonl]
     repro-cli trace summarize out.jsonl     # paper measures from a trace
     repro-cli trace validate out.jsonl      # schema-check a trace file
+    repro-cli analyze [--json]              # interprocedural contract analyzer
 """
 
 from __future__ import annotations
@@ -94,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize: paper complexity measures; validate: schema check",
     )
     trace_parser.add_argument("path", metavar="TRACE.jsonl", help="trace file to read")
+
+    subparsers.add_parser(
+        "analyze",
+        help="run the interprocedural determinism/contract analyzer "
+        "(repro.devtools.flow, codes RPR007-RPR010); all further "
+        "arguments are forwarded (e.g. --json, --check-suppressions)",
+        add_help=False,
+    )
     return parser
 
 
@@ -136,6 +145,15 @@ def _trace_command(action: str, path: str) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `analyze` forwards everything verbatim to the flow analyzer's own
+    # parser; argparse.REMAINDER cannot capture a leading option (e.g.
+    # `analyze --json`), so it is dispatched before parsing.  The
+    # subparser above remains registered for `--help` and discovery.
+    if argv and argv[0] == "analyze":
+        from repro.devtools.flow import main as flow_main
+
+        return flow_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id, title in list_experiments():

@@ -1,11 +1,19 @@
 """Correctness tooling for the repro library.
 
-Two layers, both repo-specific:
+Three layers, all repo-specific:
 
 * :mod:`repro.devtools.lint` -- an AST linter enforcing the coding
   invariants the paper's guarantees silently rely on (no float equality
   on costs, no mutation of routing structures in protocol loops,
-  deterministic iteration, seeded randomness only).
+  deterministic iteration, seeded randomness only).  Single-file,
+  single-line: codes RPR001-RPR006.
+* :mod:`repro.devtools.flow` -- the interprocedural companion: builds a
+  whole-package call graph, infers transitive effect summaries
+  (RNG, wall clock, unordered-set iteration, IO, mutation), and checks
+  the declared contracts -- entry-point determinism, the incremental
+  engine's cache commit path, engine signature parity, balanced obs
+  spans.  Codes RPR007-RPR010, with a checked-in baseline for
+  grandfathered findings.
 * :mod:`repro.devtools.sanitize` -- a runtime sanitizer: cheap,
   toggleable checks of the semantic invariants (the Theorem 1 price
   identity, non-negativity, zero payment off-path, LCP optimality,
@@ -13,7 +21,8 @@ Two layers, both repo-specific:
   engines and the centralized mechanism.
 
 :mod:`repro.devtools.check` bundles them with the external gates (ruff,
-mypy, pytest) into the single entry point CI runs.
+mypy, pytest) into the single entry point CI runs, reporting per-rule
+finding counts and a ``--json`` machine report.
 
 This package must stay import-light: the engines import
 :mod:`repro.devtools.sanitize` on their hot paths.
@@ -21,4 +30,4 @@ This package must stay import-light: the engines import
 
 from __future__ import annotations
 
-__all__ = ["lint", "sanitize", "check"]
+__all__ = ["lint", "flow", "sanitize", "check"]

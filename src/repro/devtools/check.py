@@ -4,13 +4,20 @@ Runs, in order:
 
 1. **lint** -- the repo-specific AST rules (:mod:`repro.devtools.lint`),
    in-process;
-2. **bench-imports** -- ``benchmarks/`` must stay importable with the
+2. **flow** -- the interprocedural determinism/contract analyzer
+   (:mod:`repro.devtools.flow`), in-process, gating on zero findings
+   that are not grandfathered by the checked-in baseline;
+3. **bench-imports** -- ``benchmarks/`` must stay importable with the
    baseline toolchain: no module-level imports of optional heavy
    dependencies (scipy) that would break ``pytest benchmarks/``
    collection in the reproduction container;
-3. **ruff** -- generic style/bug lint, if ruff is installed;
-4. **mypy** -- strict static typing, if mypy is installed;
-5. **pytest** -- the tier-1 test suite.
+4. **ruff** -- generic style/bug lint, if ruff is installed;
+5. **mypy** -- strict static typing, if mypy is installed;
+6. **pytest** -- the tier-1 test suite.
+
+Each step reports per-rule finding counts (``counts``), so a regression
+says *which* rule regressed and by how much instead of a bare FAIL, and
+``--json`` emits the whole report machine-readably for the CI step.
 
 External tools that are not installed are reported ``SKIP`` rather than
 failing the gate: the repo-specific checks carry the invariants that
@@ -25,15 +32,16 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import shutil
 import subprocess
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.devtools import lint
+from repro.devtools import flow, lint
 
 __all__ = ["StepResult", "run_checks", "main"]
 
@@ -47,10 +55,20 @@ class StepResult:
     name: str
     status: str  # PASS / FAIL / SKIP
     detail: str = ""
+    #: per-rule finding counts (analysis steps; empty for tool steps).
+    counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
         return self.status == _FAIL
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "counts": dict(self.counts),
+        }
 
 
 def _repo_root() -> Path:
@@ -64,10 +82,32 @@ def _src_root() -> Path:
 
 def _step_lint() -> StepResult:
     findings = lint.lint_paths([_src_root()])
+    counts: Dict[str, int] = {code: 0 for code in lint.ALL_CODES}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
     if findings:
         listing = "\n".join(str(f) for f in findings)
-        return StepResult("lint", _FAIL, listing)
-    return StepResult("lint", _PASS)
+        return StepResult("lint", _FAIL, listing, counts=counts)
+    return StepResult("lint", _PASS, counts=counts)
+
+
+def _step_flow() -> StepResult:
+    """Interprocedural analyzer, gated on non-baselined findings."""
+    result = flow.analyze_paths([_src_root()])
+    baseline = flow.load_baseline(flow.default_baseline_path())
+    new, grandfathered = flow.split_baseline(result.findings, baseline)
+    counts: Dict[str, int] = {code: 0 for code in flow.FLOW_CODES}
+    for finding in new:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    if new:
+        listing = "\n".join(str(f) for f in new)
+        if grandfathered:
+            listing += f"\n({len(grandfathered)} grandfathered finding(s) not shown)"
+        return StepResult("flow", _FAIL, listing, counts=counts)
+    detail = (
+        f"{len(grandfathered)} grandfathered finding(s)" if grandfathered else ""
+    )
+    return StepResult("flow", _PASS, detail, counts=counts)
 
 
 #: Modules the benchmark harness must never import at module level --
@@ -160,6 +200,7 @@ def run_checks(skip_tests: bool = False) -> List[StepResult]:
     root = _repo_root()
     results = [
         _step_lint(),
+        _step_flow(),
         _step_bench_imports(root),
         _step_ruff(root),
         _step_mypy(root),
@@ -174,24 +215,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.devtools.check",
         description=(
             "Run the full correctness gate "
-            "(lint, bench-imports, ruff, mypy, pytest)."
+            "(lint, flow, bench-imports, ruff, mypy, pytest)."
         ),
     )
     parser.add_argument(
         "--skip-tests",
         action="store_true",
-        help="run only the static checks (lint, ruff, mypy)",
+        help="run only the static checks (lint, flow, ruff, mypy)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the step report as JSON (consumed by the CI step)",
     )
     args = parser.parse_args(argv)
     results = run_checks(skip_tests=args.skip_tests)
-    for result in results:
-        print(f"{result.status:4s} {result.name}")
-        if result.detail and result.status != _PASS:
-            for line in result.detail.splitlines():
-                print(f"     {line}")
     failed = [r for r in results if r.failed]
+    if args.as_json:
+        payload = {
+            "steps": [result.as_dict() for result in results],
+            "failed": len(failed),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for result in results:
+            suffix = ""
+            if result.counts and any(result.counts.values()):
+                nonzero = {
+                    code: count
+                    for code, count in sorted(result.counts.items())
+                    if count
+                }
+                suffix = "  " + ", ".join(
+                    f"{code}={count}" for code, count in nonzero.items()
+                )
+            print(f"{result.status:4s} {result.name}{suffix}")
+            if result.detail and result.status != _PASS:
+                for line in result.detail.splitlines():
+                    print(f"     {line}")
     if failed:
-        print(f"{len(failed)} step(s) failed", file=sys.stderr)
+        if not args.as_json:
+            print(f"{len(failed)} step(s) failed", file=sys.stderr)
         return 1
     return 0
 

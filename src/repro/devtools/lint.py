@@ -600,23 +600,32 @@ def lint_source(
     source: str,
     relpath: str,
     select: Optional[Sequence[str]] = None,
+    *,
+    apply_suppressions: bool = True,
 ) -> List[Finding]:
     """Lint one module given as text; *relpath* is package-root relative
-    (forward slashes), which is what scopes the per-subtree rules."""
+    (forward slashes), which is what scopes the per-subtree rules.
+
+    ``apply_suppressions=False`` reports findings on suppressed lines
+    too; the analyzer's ``--check-suppressions`` mode uses this to spot
+    ``# repro-lint: ok`` comments that no longer suppress anything.
+    """
     chosen = set(select) if select is not None else set(ALL_CODES)
     tree = ast.parse(source, filename=relpath)
     findings: List[Finding] = []
     visitor = _RuleVisitor(relpath=relpath, select=chosen, findings=findings)
     visitor.visit(tree)
-    suppressed = _suppressed_lines(source)
-    kept = []
-    for finding in findings:
-        codes = suppressed.get(finding.line, ...)
-        if codes is ...:
-            kept.append(finding)
-        elif codes is not None and finding.code not in codes:
-            kept.append(finding)
-    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+    if apply_suppressions:
+        suppressed = _suppressed_lines(source)
+        kept = []
+        for finding in findings:
+            codes = suppressed.get(finding.line, ...)
+            if codes is ...:
+                kept.append(finding)
+            elif codes is not None and finding.code not in codes:
+                kept.append(finding)
+        findings = kept
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
 
 
 def _package_relpath(path: Path) -> str:

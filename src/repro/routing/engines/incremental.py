@@ -236,7 +236,7 @@ class IncrementalEngine(Engine):
             # rationale as ASGraph.__eq__).
             x
             for x in new_costs
-            if new_costs[x] != old_costs[x]  # repro-lint: ok(RPR001)
+            if new_costs[x] != old_costs[x]
         )
         new_edges = set(graph.edges)
         removed = sorted(self._edges - new_edges)

@@ -66,7 +66,7 @@ def costs_close(a: Cost, b: Cost, *, eps: float = EPSILON) -> bool:
     near zero compare sensibly.  Infinities compare equal only to
     themselves; NaN compares equal to nothing.
     """
-    if a == b:  # repro-lint: ok(RPR001) -- fast path and +-inf identity
+    if a == b:  # fast path and +-inf identity
         return True
     return math.isclose(a, b, rel_tol=eps, abs_tol=eps)
 

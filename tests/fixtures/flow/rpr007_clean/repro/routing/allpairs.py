@@ -1,0 +1,19 @@
+"""RPR007 clean fixture: same call shape, deterministic tie-breaking."""
+
+from __future__ import annotations
+
+
+def _tie_break(candidates):
+    return min(candidates)
+
+
+def _route(graph, destination):
+    candidates = [destination]
+    return _tie_break(candidates)
+
+
+def all_pairs_lcp(graph, *, engine=None, sanitize=None, obs=None):
+    routes = {}
+    for destination in sorted(graph):
+        routes[destination] = _route(graph, destination)
+    return routes

@@ -1,0 +1,26 @@
+"""RPR007 fixture: the entry point transitively reaches unseeded RNG.
+
+``all_pairs_lcp`` itself is clean; the nondeterminism hides two calls
+down (``all_pairs_lcp -> _route -> _tie_break``), which only an
+interprocedural pass can see.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _tie_break(candidates):
+    return candidates[int(random.random() * len(candidates))]
+
+
+def _route(graph, destination):
+    candidates = [destination]
+    return _tie_break(candidates)
+
+
+def all_pairs_lcp(graph, *, engine=None, sanitize=None, obs=None):
+    routes = {}
+    for destination in sorted(graph):
+        routes[destination] = _route(graph, destination)
+    return routes

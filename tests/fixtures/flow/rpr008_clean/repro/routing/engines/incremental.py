@@ -1,0 +1,21 @@
+"""RPR008 clean fixture: caches only written inside commit methods."""
+
+from __future__ import annotations
+
+
+class IncrementalEngine:
+    name = "incremental"
+
+    def __init__(self):
+        self._graph = None
+        self._trees = {}
+        self._avoiding = {}
+
+    def _sync(self, graph):
+        self._graph = graph
+        self._trees = {}
+        cache = self._avoiding
+        cache.clear()
+
+    def lookup(self, destination):
+        return self._trees.get(destination)

@@ -1,0 +1,25 @@
+"""RPR008 fixture: epoch cache written outside the commit path.
+
+``warm_poke`` is not one of the declared commit methods, so its writes
+to ``self._trees`` / the ``self._avoiding`` alias must be flagged.
+"""
+
+from __future__ import annotations
+
+
+class IncrementalEngine:
+    name = "incremental"
+
+    def __init__(self):
+        self._graph = None
+        self._trees = {}
+        self._avoiding = {}
+
+    def _sync(self, graph):
+        self._graph = graph
+        self._trees = {}
+
+    def warm_poke(self, destination):
+        self._trees[destination] = None
+        cache = self._avoiding
+        cache.clear()

@@ -1,0 +1,16 @@
+"""RPR009 fixture registry: reference plus one drifted engine."""
+
+from __future__ import annotations
+
+from repro.routing.engines.other import OtherEngine
+from repro.routing.engines.reference import ReferenceEngine
+
+_REGISTRY = {}
+
+
+def register(cls):
+    _REGISTRY[cls.name] = cls
+
+
+register(ReferenceEngine)
+register(OtherEngine)

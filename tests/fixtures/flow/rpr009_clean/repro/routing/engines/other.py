@@ -1,0 +1,13 @@
+"""RPR009 clean fixture: signatures identical to the reference."""
+
+from __future__ import annotations
+
+
+class OtherEngine:
+    name = "other"
+
+    def all_pairs(self, graph, *, obs=None):
+        return {}
+
+    def price_table(self, graph, routes=None, *, obs=None):
+        return {}

@@ -1,0 +1,13 @@
+"""RPR009 fixture: the reference engine's public signatures."""
+
+from __future__ import annotations
+
+
+class ReferenceEngine:
+    name = "reference"
+
+    def all_pairs(self, graph, *, obs=None):
+        return {}
+
+    def price_table(self, graph, routes=None, *, obs=None):
+        return {}

@@ -1,0 +1,13 @@
+"""RPR009 fixture: ``all_pairs`` drifted -- ``obs`` became positional."""
+
+from __future__ import annotations
+
+
+class OtherEngine:
+    name = "other"
+
+    def all_pairs(self, graph, obs=None):
+        return {}
+
+    def price_table(self, graph, routes=None, *, obs=None):
+        return {}

@@ -1,0 +1,29 @@
+"""RPR010 clean fixture: every balanced way of opening a span."""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+
+def with_stage(observer, graph):
+    with observer.span("stage"):
+        return len(graph)
+
+
+def stacked_stage(observer, graph):
+    with ExitStack() as stack:
+        stack.enter_context(observer.span("stage"))
+        return len(graph)
+
+
+def factory_stage(observer, name):
+    return observer.span(name)
+
+
+def finally_stage(observer, graph):
+    span = observer.span("stage")
+    span.__enter__()
+    try:
+        return len(graph)
+    finally:
+        span.__exit__(None, None, None)

@@ -1,0 +1,10 @@
+"""RPR010 fixture: a span opened imperatively and never closed."""
+
+from __future__ import annotations
+
+
+def leaky_stage(observer, graph):
+    span = observer.span("stage")
+    span.__enter__()
+    total = len(graph)
+    return total

@@ -3,11 +3,13 @@
 The pytest step is always skipped here -- running it from inside the
 suite would recurse.  External tools may legitimately be absent (the
 reproduction container has no ruff/mypy), so their steps must come back
-PASS or SKIP, never crash; the in-process lint step must PASS on the
-shipped tree.
+PASS or SKIP, never crash; the in-process lint and flow steps must PASS
+on the shipped tree.
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.devtools.check import StepResult, main, run_checks
 
@@ -15,13 +17,38 @@ from repro.devtools.check import StepResult, main, run_checks
 class TestRunChecks:
     def test_static_steps_never_fail_on_shipped_tree(self):
         results = run_checks(skip_tests=True)
-        assert [r.name for r in results] == ["lint", "bench-imports", "ruff", "mypy"]
+        assert [r.name for r in results] == [
+            "lint",
+            "flow",
+            "bench-imports",
+            "ruff",
+            "mypy",
+        ]
         for result in results:
             assert result.status in {"PASS", "SKIP"}, f"{result.name}: {result.detail}"
 
     def test_lint_step_passes(self):
         results = {r.name: r for r in run_checks(skip_tests=True)}
         assert results["lint"].status == "PASS"
+
+    def test_flow_step_passes_and_reports_per_rule_counts(self):
+        results = {r.name: r for r in run_checks(skip_tests=True)}
+        flow = results["flow"]
+        assert flow.status == "PASS"
+        assert set(flow.counts) == {"RPR007", "RPR008", "RPR009", "RPR010"}
+        assert all(count == 0 for count in flow.counts.values())
+
+    def test_lint_step_reports_per_rule_counts(self):
+        results = {r.name: r for r in run_checks(skip_tests=True)}
+        lint = results["lint"]
+        assert set(lint.counts) == {
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+        }
 
     def test_bench_imports_step_passes_on_shipped_tree(self):
         results = {r.name: r for r in run_checks(skip_tests=True)}
@@ -54,14 +81,82 @@ class TestRunChecks:
         assert not StepResult("x", "PASS").failed
         assert not StepResult("x", "SKIP").failed
 
+    def test_flow_step_fails_on_non_baselined_finding(self, monkeypatch):
+        import repro.devtools.check as check_mod
+        from repro.devtools.flow import AnalysisResult, FlowFinding
+
+        finding = FlowFinding(
+            path="routing/x.py",
+            line=1,
+            col=1,
+            code="RPR007",
+            message="injected",
+            function="f",
+            key="RPR007:routing/x.py:f:reads-rng",
+        )
+        monkeypatch.setattr(
+            check_mod.flow,
+            "analyze_paths",
+            lambda paths: AnalysisResult(
+                findings=[finding], summaries={}, modules=1, functions=1
+            ),
+        )
+        result = check_mod._step_flow()
+        assert result.status == "FAIL"
+        assert result.counts["RPR007"] == 1
+        assert "injected" in result.detail
+
+    def test_flow_step_passes_on_baselined_finding(self, monkeypatch):
+        import repro.devtools.check as check_mod
+        from repro.devtools.flow import AnalysisResult, FlowFinding
+
+        finding = FlowFinding(
+            path="routing/x.py",
+            line=1,
+            col=1,
+            code="RPR007",
+            message="grandfathered",
+            function="f",
+            key="RPR007:routing/x.py:f:reads-rng",
+        )
+        monkeypatch.setattr(
+            check_mod.flow,
+            "analyze_paths",
+            lambda paths: AnalysisResult(
+                findings=[finding], summaries={}, modules=1, functions=1
+            ),
+        )
+        monkeypatch.setattr(
+            check_mod.flow, "load_baseline", lambda path: {finding.key}
+        )
+        result = check_mod._step_flow()
+        assert result.status == "PASS"
+        assert result.counts["RPR007"] == 0
+        assert "grandfathered" in result.detail
+
 
 class TestMain:
     def test_exit_zero_and_report(self, capsys):
         assert main(["--skip-tests"]) == 0
         out = capsys.readouterr().out
         assert "lint" in out
+        assert "flow" in out
         assert "ruff" in out
         assert "mypy" in out
+
+    def test_json_report(self, capsys):
+        assert main(["--skip-tests", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+        steps = {step["name"]: step for step in payload["steps"]}
+        assert steps["flow"]["status"] == "PASS"
+        assert steps["flow"]["counts"] == {
+            "RPR007": 0,
+            "RPR008": 0,
+            "RPR009": 0,
+            "RPR010": 0,
+        }
+        assert steps["lint"]["status"] == "PASS"
 
     def test_exit_one_on_failure(self, capsys, monkeypatch):
         import repro.devtools.check as check_mod
@@ -75,3 +170,22 @@ class TestMain:
         captured = capsys.readouterr()
         assert "RPR001" in captured.out
         assert "failed" in captured.err
+
+    def test_json_exit_one_on_failure(self, capsys, monkeypatch):
+        import repro.devtools.check as check_mod
+
+        monkeypatch.setattr(
+            check_mod,
+            "_step_flow",
+            lambda: StepResult(
+                "flow",
+                "FAIL",
+                "routing/x.py:1:1: RPR007 bad",
+                counts={"RPR007": 1, "RPR008": 0, "RPR009": 0, "RPR010": 0},
+            ),
+        )
+        assert main(["--skip-tests", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 1
+        steps = {step["name"]: step for step in payload["steps"]}
+        assert steps["flow"]["counts"]["RPR007"] == 1
