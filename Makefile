@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze test bench bench-protocol bench-dynamics bench-analyzer sanitize-test test-engines trace-smoke
+.PHONY: check lint analyze test bench bench-protocol bench-dynamics bench-analyzer bench-timed sanitize-test test-engines test-timed trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -37,6 +37,14 @@ test-engines:
 		tests/test_engine_registry.py \
 		tests/test_scipy_engine.py
 
+# timed-substrate differential suite: async bit-identity, centralized
+# parity under every delay/MRAI setting, determinism, fault sequences,
+# MRAI accounting, and the golden JSONL trace (CI=1 widens Hypothesis)
+test-timed:
+	$(PYTHON) -m pytest -x -q \
+		tests/test_timed_protocol.py \
+		tests/test_timed_golden_trace.py
+
 # observability smoke test: record one experiment as a JSONL trace,
 # schema-validate it, and summarize the paper's complexity measures
 trace-smoke:
@@ -59,6 +67,12 @@ bench-protocol:
 # to the cold reference (quick: 4 events at n = 200; drop --quick for 12)
 bench-dynamics:
 	$(PYTHON) benchmarks/bench_dynamics_incremental.py --quick --out BENCH_dynamics.json
+
+# timed-substrate benchmark: delay/MRAI grid vs the synchronous Sect. 5
+# baseline; writes BENCH_timed.json at the repo root and exits non-zero
+# unless every configuration converges to the centralized model
+bench-timed:
+	$(PYTHON) benchmarks/bench_timed_protocol.py --quick --out BENCH_timed.json
 
 # analyzer wall-clock benchmark: full-tree analysis must stay under
 # ~5 s so the contract gate remains a per-commit check; writes

@@ -21,6 +21,15 @@ not.  One symbol per concept:
   network through a scripted event sequence, reconverging and verifying
   after every event (``engine="incremental"`` makes the per-epoch
   verification warm-start from cached route trees).
+* :func:`run_timed_mechanism` -- the protocol on the discrete-event
+  timed substrate (:class:`TimedEngine`): seeded per-link delay
+  distributions (:class:`ConstantDelay` | :class:`UniformDelay` |
+  :class:`LogNormalDelay`) and optional :class:`MRAIConfig` hold-down
+  timers; same converged model, virtual time replaces stages.
+* :func:`run_timed_scenario` -- network events scheduled at virtual
+  timestamps, interleaved with in-flight protocol traffic (messages on
+  a failing link are lost), verified against the centralized mechanism
+  on the final topology.
 * :func:`fig1_graph` -- the paper's Figure 1 worked example.
 * :func:`analyze_paths` -- the interprocedural determinism/contract
   analyzer (``repro.devtools.flow``); returns the contract findings and
@@ -48,15 +57,35 @@ Dynamics quickstart::
     events = [LinkFailure(0, 1), LinkRecovery(0, 1), CostChange(2, 5.0)]
     run = api.run_dynamic_scenario(graph, events, engine="incremental")
     assert run.all_ok and run.all_within_bound
+
+Timed quickstart::
+
+    result = api.run_timed_mechanism(
+        graph,
+        seed=7,
+        delay=api.LogNormalDelay(-2.0, 0.8),
+        mrai=api.MRAIConfig(1.0, mode="peer", jitter=0.25),
+    )
+    api.verify_against_centralized(result).raise_on_mismatch()
+    result.report.convergence_time                    # virtual seconds
 """
 
 from __future__ import annotations
 
 from repro import obs
-from repro.core.dynamics import run_dynamic_scenario
+from repro.bgp.delays import (
+    ConstantDelay,
+    DelayModel,
+    LogNormalDelay,
+    UniformDelay,
+    parse_delay,
+)
+from repro.bgp.timed import MRAIConfig, TimedEngine
+from repro.core.dynamics import run_dynamic_scenario, run_timed_scenario
 from repro.devtools.flow import analyze_paths
 from repro.core.protocol import (
     run_distributed_mechanism,
+    run_timed_mechanism,
     verify_against_centralized,
 )
 from repro.graphs.asgraph import ASGraph
@@ -67,13 +96,22 @@ from repro.routing.engines import get_engine
 
 __all__ = [
     "ASGraph",
+    "ConstantDelay",
+    "DelayModel",
+    "LogNormalDelay",
+    "MRAIConfig",
+    "TimedEngine",
+    "UniformDelay",
     "all_pairs_lcp",
     "analyze_paths",
     "compute_price_table",
     "fig1_graph",
     "get_engine",
     "obs",
+    "parse_delay",
     "run_distributed_mechanism",
     "run_dynamic_scenario",
+    "run_timed_mechanism",
+    "run_timed_scenario",
     "verify_against_centralized",
 ]

@@ -19,7 +19,15 @@ from repro.bgp.node import BGPNode
 from repro.bgp.policy import HopCountPolicy, LowestCostPolicy, SelectionPolicy
 from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
-from repro.bgp.metrics import ConvergenceReport, StateReport
+from repro.bgp.metrics import ConvergenceReport, StateReport, TimedReport
+from repro.bgp.delays import (
+    ConstantDelay,
+    DelayModel,
+    LogNormalDelay,
+    UniformDelay,
+    parse_delay,
+)
+from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig, TimedEngine
 
 __all__ = [
     "RouteAdvertisement",
@@ -29,9 +37,19 @@ __all__ = [
     "SelectionPolicy",
     "AsynchronousEngine",
     "SynchronousEngine",
+    "TimedEngine",
     "CostChange",
     "LinkFailure",
     "LinkRecovery",
     "ConvergenceReport",
     "StateReport",
+    "TimedReport",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "LogNormalDelay",
+    "parse_delay",
+    "MRAIConfig",
+    "MRAI_PEER",
+    "MRAI_PREFIX",
 ]

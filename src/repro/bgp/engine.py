@@ -570,6 +570,12 @@ class AsynchronousEngine:
     improve and price arrays stabilize with them).
     """
 
+    #: Opt-in delivery schedule recorder: set to a list and every
+    #: delivery appends ``(when, sender, receiver, rows)``.  The timed
+    #: engine records the same tuples, which is how the differential
+    #: suite asserts schedule bit-identity between the substrates.
+    delivery_log: Optional[List[Tuple[float, NodeId, NodeId, int]]] = None
+
     def __init__(
         self,
         graph: ASGraph,
@@ -699,6 +705,13 @@ class AsynchronousEngine:
             when, _seq, sender, receiver, payload = heapq.heappop(self._queue)
             self._clock = when
             self.deliveries += 1
+            if self.delivery_log is not None:
+                rows = (
+                    payload.size_rows()
+                    if isinstance(payload, RouteDelta)
+                    else len(payload)
+                )
+                self.delivery_log.append((when, sender, receiver, rows))
             node = self.nodes[receiver]
             if isinstance(payload, RouteDelta):
                 dirty = node.receive_delta(sender, payload)

@@ -4,22 +4,38 @@ The paper notes that convergence restarts whenever a route changes; the
 experiment on dynamics (E10) drives the engines through scripted event
 sequences built from these three primitives and measures the
 re-convergence stages against the bound for the *new* instance.
+
+Events are engine-agnostic: anything exposing the dynamics surface
+(:class:`SupportsDynamics` -- the synchronous, asynchronous-timed, and
+future substrates) can be driven by the same scripted sequences, either
+between runs (the staged model) or scheduled at a virtual timestamp
+(the timed model).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Protocol
 
-from repro.bgp.engine import SynchronousEngine
 from repro.types import Cost, NodeId
+
+
+class SupportsDynamics(Protocol):
+    """The mutation surface a scripted event needs from an engine."""
+
+    def fail_link(self, u: NodeId, v: NodeId) -> None: ...
+
+    def restore_link(self, u: NodeId, v: NodeId) -> None: ...
+
+    def change_cost(self, node_id: NodeId, cost: Cost) -> None: ...
 
 
 class NetworkEvent(abc.ABC):
     """A scripted change applied to a running engine."""
 
     @abc.abstractmethod
-    def apply(self, engine: SynchronousEngine) -> None:
+    def apply(self, engine: SupportsDynamics) -> None:
         """Mutate the engine's network; convergence restarts after."""
 
     @abc.abstractmethod
@@ -34,7 +50,7 @@ class LinkFailure(NetworkEvent):
     u: NodeId
     v: NodeId
 
-    def apply(self, engine: SynchronousEngine) -> None:
+    def apply(self, engine: SupportsDynamics) -> None:
         engine.fail_link(self.u, self.v)
 
     def describe(self) -> str:
@@ -48,7 +64,7 @@ class LinkRecovery(NetworkEvent):
     u: NodeId
     v: NodeId
 
-    def apply(self, engine: SynchronousEngine) -> None:
+    def apply(self, engine: SupportsDynamics) -> None:
         engine.restore_link(self.u, self.v)
 
     def describe(self) -> str:
@@ -62,7 +78,7 @@ class CostChange(NetworkEvent):
     node: NodeId
     new_cost: Cost
 
-    def apply(self, engine: SynchronousEngine) -> None:
+    def apply(self, engine: SupportsDynamics) -> None:
         engine.change_cost(self.node, self.new_cost)
 
     def describe(self) -> str:

@@ -60,6 +60,54 @@ class ConvergenceReport:
         return max((s.entries_sent for s in self.per_stage), default=0)
 
 
+@dataclass
+class TimedReport:
+    """The outcome of draining a :class:`~repro.bgp.timed.TimedEngine`.
+
+    Virtual time replaces stages: ``clock`` is the virtual time at which
+    the event queue drained and ``convergence_time`` the time of the
+    last actual delivery.  Transport accounting follows the rows through
+    the MRAI layer and the lossy links, with two reconciliation
+    invariants the test suite asserts::
+
+        rows_offered == rows_sent + mrai_rows_coalesced
+                                  + mrai_rows_discarded   (queue drained)
+        rows_sent    == rows_delivered + rows_lost
+
+    ``stages`` is always 0 (there are none); it exists so the timed
+    engine satisfies the same report surface the experiments consume.
+    """
+
+    converged: bool
+    deliveries: int = 0
+    messages_lost: int = 0
+    rows_offered: int = 0
+    rows_sent: int = 0
+    rows_delivered: int = 0
+    rows_suppressed: int = 0
+    rows_lost: int = 0
+    mrai_deferrals: int = 0
+    mrai_flushes: int = 0
+    mrai_rows_coalesced: int = 0
+    mrai_rows_discarded: int = 0
+    network_events: int = 0
+    clock: float = 0.0
+    convergence_time: float = 0.0
+    stages: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.deliveries
+
+    @property
+    def total_rows_sent(self) -> int:
+        return self.rows_sent
+
+    @property
+    def total_rows_suppressed(self) -> int:
+        return self.rows_suppressed
+
+
 @dataclass(frozen=True)
 class StateReport:
     """Per-node state snapshot after convergence (experiment E6)."""

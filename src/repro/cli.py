@@ -49,8 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protocol_help = (
         "BGP transport for protocol-aware experiments: delta (incremental "
-        "row exchanges; default) or full (literal Sect. 5 full tables); "
-        "results are bit-identical either way"
+        "row exchanges; default), full (literal Sect. 5 full tables; "
+        "bit-identical to delta), or timed (discrete-event simulator with "
+        "link jitter; same converged model, virtual time replaces stages)"
     )
     trace_help = (
         "record an observability trace of the run as JSONL "
@@ -65,7 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=engine_names(), default=None, help=engine_help
     )
     run_parser.add_argument(
-        "--protocol", choices=("delta", "full"), default=None, help=protocol_help
+        "--protocol",
+        choices=("delta", "full", "timed"),
+        default=None,
+        help=protocol_help,
     )
     run_parser.add_argument("--trace", metavar="PATH", default=None, help=trace_help)
 
@@ -76,7 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=engine_names(), default=None, help=engine_help
     )
     all_parser.add_argument(
-        "--protocol", choices=("delta", "full"), default=None, help=protocol_help
+        "--protocol",
+        choices=("delta", "full", "timed"),
+        default=None,
+        help=protocol_help,
     )
     all_parser.add_argument(
         "--write-md",

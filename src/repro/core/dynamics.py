@@ -11,11 +11,14 @@ records the reconvergence stages next to the new instance's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from repro.bgp.delays import DelayModel
 from repro.bgp.engine import SynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery, NetworkEvent
+from repro.bgp.metrics import TimedReport
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
+from repro.bgp.timed import MRAIConfig, TimedEngine
 from repro.core.convergence import ConvergenceBound, convergence_bound
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
@@ -159,6 +162,88 @@ def run_dynamic_scenario(
             _epoch(event.describe(), current, bgp, report, mode, price_engine)
         )
     return run
+
+
+@dataclass
+class TimedScenarioResult:
+    """The outcome of a timed scripted scenario.
+
+    Unlike the staged :class:`DynamicsRun`, events fire *inside* one
+    continuous timed run -- possibly while UPDATEs are still in flight
+    (those are lost with their session) -- so there is one final
+    verification against the centralized mechanism on the fully mutated
+    graph rather than one per epoch.
+    """
+
+    graph: ASGraph  # the final mutated topology
+    engine: TimedEngine
+    report: TimedReport
+    verification: VerificationReport
+    events_applied: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.converged and self.verification.ok
+
+
+def run_timed_scenario(
+    graph: ASGraph,
+    events: Sequence[Tuple[float, NetworkEvent]],
+    mode: UpdateMode = UpdateMode.MONOTONE,
+    policy: Optional[SelectionPolicy] = None,
+    *,
+    seed: int = 0,
+    delay: Optional[DelayModel] = None,
+    mrai: Optional[MRAIConfig] = None,
+    max_events: Optional[int] = None,
+) -> TimedScenarioResult:
+    """Run the timed substrate with network events at virtual times.
+
+    *events* is a sequence of ``(when, event)`` pairs; they are applied
+    at their virtual timestamps, interleaved with whatever protocol
+    traffic is then in flight.  Every intermediate graph (events taken
+    in timestamp order) must stay biconnected, else the mechanism is
+    undefined and :class:`ExperimentError` is raised before anything
+    runs.  The converged final state is verified against the
+    centralized mechanism on the final mutated graph.
+    """
+    policy = policy or LowestCostPolicy()
+    ordered = sorted(enumerate(events), key=lambda item: (item[1][0], item[0]))
+    current = graph
+    for _, (when, event) in ordered:
+        current = apply_event_to_graph(current, event)
+        if not is_biconnected(current):
+            raise ExperimentError(
+                f"event '{event.describe()}' breaks biconnectivity; "
+                "the mechanism is undefined on the resulting graph"
+            )
+
+    def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
+        return PriceComputingNode(node_id, cost, pol, mode=mode)
+
+    engine = TimedEngine(
+        graph,
+        policy=policy,
+        node_factory=factory,
+        seed=seed,
+        delay=delay,
+        mrai=mrai,
+    )
+    engine.initialize()
+    for _, (when, event) in ordered:
+        engine.schedule_event(when, event)
+    report = engine.run(max_events=max_events)
+    result = DistributedPriceResult(
+        graph=current, engine=engine, report=report, mode=mode
+    )
+    verification = verify_against_centralized(result)
+    return TimedScenarioResult(
+        graph=current,
+        engine=engine,
+        report=report,
+        verification=verification,
+        events_applied=len(events),
+    )
 
 
 def _epoch(

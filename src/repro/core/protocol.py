@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import repro.obs as obs_mod
+from repro.bgp.delays import DelayModel
 from repro.bgp.engine import AsynchronousEngine, SynchronousEngine
+from repro.bgp.timed import MRAIConfig, TimedEngine
 from repro.devtools import sanitize
-from repro.bgp.metrics import ConvergenceReport
+from repro.bgp.metrics import ConvergenceReport, TimedReport
 from repro.bgp.policy import LowestCostPolicy, SelectionPolicy
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.exceptions import MechanismError
@@ -75,8 +77,8 @@ class DistributedPriceResult:
     """Everything the distributed protocol computed."""
 
     graph: ASGraph
-    engine: Union[SynchronousEngine, AsynchronousEngine]
-    report: ConvergenceReport
+    engine: Union[SynchronousEngine, AsynchronousEngine, TimedEngine]
+    report: Union[ConvergenceReport, TimedReport]
     mode: UpdateMode
 
     def node(self, node_id: NodeId) -> PriceComputingNode:
@@ -157,6 +159,57 @@ def run_distributed_mechanism(
         # End-to-end validation of the converged state: every selected
         # route re-verified against Dijkstra, every price against the
         # Theorem 1 identity recomputed from scratch.
+        sanitize.check_distributed_prices(
+            graph,
+            {node_id: node.routes for node_id, node in engine.nodes.items()},
+            {
+                node_id: getattr(node, "price_rows", {})
+                for node_id, node in engine.nodes.items()
+            },
+        )
+    return DistributedPriceResult(graph=graph, engine=engine, report=report, mode=mode)
+
+
+def run_timed_mechanism(
+    graph: ASGraph,
+    mode: UpdateMode = UpdateMode.MONOTONE,
+    policy: Optional[SelectionPolicy] = None,
+    *,
+    seed: int = 0,
+    delay: Optional[DelayModel] = None,
+    mrai: Optional[MRAIConfig] = None,
+    max_events: Optional[int] = None,
+    obs: Optional[obs_mod.Obs] = None,
+) -> DistributedPriceResult:
+    """Run the FPSS protocol on the discrete-event timed substrate.
+
+    *delay* is the seeded per-link delay distribution (default: the
+    asynchronous engine's uniform [0.1, 1.0] jitter) and *mrai* the
+    optional hold-down timer configuration -- see
+    :mod:`repro.bgp.timed`.  Whatever the timing, the converged routes
+    and prices are the same LCPs and VCG payments the centralized
+    reference computes (:func:`verify_against_centralized`); timing only
+    moves the virtual-clock and transport accounting in the report.
+    """
+    policy = policy or LowestCostPolicy()
+    if sanitize.enabled():
+        sanitize.check_biconnected(graph)
+
+    def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
+        return PriceComputingNode(node_id, cost, pol, mode=mode)
+
+    engine = TimedEngine(
+        graph,
+        policy=policy,
+        node_factory=factory,
+        seed=seed,
+        delay=delay,
+        mrai=mrai,
+        obs=obs,
+    )
+    engine.initialize()
+    report = engine.run(max_events=max_events)
+    if sanitize.enabled():
         sanitize.check_distributed_prices(
             graph,
             {node_id: node.routes for node_id, node in engine.nodes.items()},

@@ -65,6 +65,7 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
     "E15": ("repro.experiments.ablation_table", "Design-choice ablations"),
     "E16": ("repro.experiments.policy_table", "Policy routing (valley-free) vs the paper's LCP model"),
     "E17": ("repro.experiments.manipulation_table", "Protocol manipulation (Sect. 7 closing open problem)"),
+    "E18": ("repro.experiments.timing_table", "Timing realism: delays & MRAI vs the synchronous bound"),
 }
 
 

@@ -29,7 +29,7 @@ proxy: round-robin shards of near-equal size keep every worker busy),
 and ``mechanism.price_rows`` counts price-row throughput per engine.
 
 Span names (``obs.span``) cover the end-to-end pipeline:
-``bgp.stage``, ``bgp.sync.run``, ``bgp.async.run``,
+``bgp.stage``, ``bgp.sync.run``, ``bgp.async.run``, ``bgp.timed.run``,
 ``routing.all_pairs``, ``mechanism.price_table``,
 ``engine.all_pairs``, ``engine.price_table``, ``experiment.run``.
 """
@@ -49,6 +49,16 @@ LOC_RIB_ENTRIES = "bgp.node.loc_rib_entries"
 ADJ_RIB_IN_ENTRIES = "bgp.node.adj_rib_in_entries"
 PRICE_ENTRIES = "bgp.node.price_entries"
 
+# -- timed substrate (discrete-event simulator) ------------------------
+# Virtual-clock gauges and MRAI/loss accounting of repro.bgp.timed.
+TIMED_CLOCK = "bgp.timed.clock"
+TIMED_CONVERGENCE_TIME = "bgp.timed.convergence_time"
+TIMED_MESSAGES_LOST = "bgp.timed.messages_lost"
+TIMED_NETWORK_EVENTS = "bgp.timed.network_events"
+TIMED_MRAI_DEFERRALS = "bgp.timed.mrai.deferrals"
+TIMED_MRAI_FLUSHES = "bgp.timed.mrai.flushes"
+TIMED_MRAI_COALESCED = "bgp.timed.mrai.rows_coalesced"
+
 # -- engine-level metrics ----------------------------------------------
 ENGINE_WORKERS = "engine.workers"
 ENGINE_SHARDS = "engine.shards"
@@ -67,6 +77,7 @@ CACHE_INVALIDATIONS = "routing.cache.invalidations"
 SPAN_STAGE = "bgp.stage"
 SPAN_SYNC_RUN = "bgp.sync.run"
 SPAN_ASYNC_RUN = "bgp.async.run"
+SPAN_TIMED_RUN = "bgp.timed.run"
 SPAN_ALL_PAIRS = "routing.all_pairs"
 SPAN_PRICE_TABLE = "mechanism.price_table"
 SPAN_ENGINE_ALL_PAIRS = "engine.all_pairs"

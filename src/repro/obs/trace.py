@@ -112,6 +112,17 @@ class TraceSummary:
     #: whether the trace recorded any ``routing.cache.*`` counter at
     #: all (an all-miss cold run still reports zeros in the summary).
     cache_seen: bool = False
+    #: ``bgp.timed.*`` aggregates (discrete-event substrate): final
+    #: virtual clock / convergence-time gauges, loss and MRAI counters.
+    timed_clock: float = 0.0
+    timed_convergence_time: float = 0.0
+    timed_messages_lost: int = 0
+    timed_network_events: int = 0
+    timed_mrai_deferrals: int = 0
+    timed_mrai_flushes: int = 0
+    timed_mrai_coalesced: int = 0
+    #: whether the trace recorded the timed substrate at all.
+    timed_seen: bool = False
     #: last per-node gauge values, keyed by node label.
     loc_rib_entries: Dict[Any, int] = field(default_factory=dict)
     adj_rib_in_entries: Dict[Any, int] = field(default_factory=dict)
@@ -196,6 +207,30 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
         in (names.CACHE_HITS, names.CACHE_MISSES, names.CACHE_INVALIDATIONS)
         for name, _labels in summary.counters
     )
+    summary.timed_clock = float(
+        summary.gauges.get((names.TIMED_CLOCK, ()), 0.0)
+    )
+    summary.timed_convergence_time = float(
+        summary.gauges.get((names.TIMED_CONVERGENCE_TIME, ()), 0.0)
+    )
+    summary.timed_messages_lost = int(
+        summary.counter_total(names.TIMED_MESSAGES_LOST)
+    )
+    summary.timed_network_events = int(
+        summary.counter_total(names.TIMED_NETWORK_EVENTS)
+    )
+    summary.timed_mrai_deferrals = int(
+        summary.counter_total(names.TIMED_MRAI_DEFERRALS)
+    )
+    summary.timed_mrai_flushes = int(
+        summary.counter_total(names.TIMED_MRAI_FLUSHES)
+    )
+    summary.timed_mrai_coalesced = int(
+        summary.counter_total(names.TIMED_MRAI_COALESCED)
+    )
+    summary.timed_seen = any(
+        name.startswith("bgp.timed.") for name, _labels in summary.counters
+    ) or any(name.startswith("bgp.timed.") for name, _labels in summary.gauges)
     summary.spans = {
         name: (int(count), total) for name, (count, total) in span_acc.items()
     }
@@ -233,6 +268,14 @@ def summary_tables(summary: TraceSummary, title: Optional[str] = None) -> List[A
         measures.add_row("route-tree cache hits", summary.cache_hits)
         measures.add_row("route-tree cache misses", summary.cache_misses)
         measures.add_row("route-tree cache invalidations", summary.cache_invalidations)
+    if summary.timed_seen:
+        measures.add_row("virtual clock at drain (s)", summary.timed_clock)
+        measures.add_row("virtual convergence time (s)", summary.timed_convergence_time)
+        measures.add_row("messages lost to link/session loss", summary.timed_messages_lost)
+        measures.add_row("timed network events", summary.timed_network_events)
+        measures.add_row("MRAI deferrals", summary.timed_mrai_deferrals)
+        measures.add_row("MRAI flushes", summary.timed_mrai_flushes)
+        measures.add_row("MRAI rows coalesced", summary.timed_mrai_coalesced)
     measures.add_row("max Loc-RIB entries (per node)", summary.max_loc_rib)
     measures.add_row("max Adj-RIB-In entries (per node)", summary.max_adj_rib_in)
     measures.add_row("max price entries (per node)", summary.max_price_entries)

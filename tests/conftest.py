@@ -1,8 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, Hypothesis profiles, and markers for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.graphs.asgraph import ASGraph
 from repro.graphs.generators import (
@@ -12,6 +15,29 @@ from repro.graphs.generators import (
     random_biconnected_graph,
     ring_graph,
 )
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles.  Both are deterministic (``derandomize`` derives
+# the example stream from each test's fixed seed, so a red run is
+# reproducible without copying a failure blob) and deadline-free (the
+# differential protocol tests legitimately take seconds per example).
+# CI=1 selects the wider profile; locally the smaller one keeps the
+# suite fast.
+# ----------------------------------------------------------------------
+hypothesis_settings.register_profile(
+    "dev", derandomize=True, deadline=None, max_examples=15
+)
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=40
+)
+hypothesis_settings.load_profile("ci" if os.environ.get("CI") else "dev")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running differential/property tests (deselect with -m 'not slow')",
+    )
 
 
 @pytest.fixture

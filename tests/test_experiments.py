@@ -15,7 +15,7 @@ from repro.experiments.runner import run_all, run_experiment, write_experiments_
 
 class TestRegistry:
     def test_all_ids_present(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 19)}
 
     def test_list_matches_registry(self):
         listed = list_experiments()

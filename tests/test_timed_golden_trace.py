@@ -1,0 +1,133 @@
+"""Golden timed trace: a checked-in JSONL obs recording, re-derived.
+
+``tests/fixtures/golden/timed_trace.jsonl`` records one scripted timed
+scenario on the Figure 1 graph -- price-computing nodes under uniform
+link jitter and a peer MRAI, with the one chord whose loss keeps the
+graph biconnected (B--D) failing mid-flight at t=0.4 and recovering at
+t=2.0.  The engine is a pure function of ``(graph, seed,
+configuration)``, so re-running :func:`scripted_scenario` today must
+reproduce the recorded run's counters exactly, and
+:func:`repro.obs.trace.summarize_trace` must re-derive the
+:class:`~repro.bgp.metrics.TimedReport` numbers from the trace alone,
+bit for bit -- floats included, no epsilon.
+
+A diff here means the timed engine's schedule or accounting changed (or
+the obs emission contract did); regenerate with::
+
+    PYTHONPATH=src python tests/test_timed_golden_trace.py
+
+and call the change out in review.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import obs as obs_mod
+from repro.bgp.delays import UniformDelay
+from repro.bgp.events import LinkFailure, LinkRecovery
+from repro.bgp.timed import MRAI_PEER, MRAIConfig, TimedEngine
+from repro.core.price_node import PriceComputingNode, UpdateMode
+from repro.core.protocol import DistributedPriceResult, verify_against_centralized
+from repro.graphs.generators import fig1_graph
+from repro.obs.trace import summarize_trace, validate_trace
+
+GOLDEN = Path(__file__).parent / "fixtures" / "golden" / "timed_trace.jsonl"
+
+SEED = 2026
+
+
+def _price_factory(node_id, cost, policy):
+    return PriceComputingNode(node_id, cost, policy, mode=UpdateMode.MONOTONE)
+
+
+def scripted_scenario(observer=None):
+    """The recorded scenario; returns the drained engine and its report."""
+    engine = TimedEngine(
+        fig1_graph(),
+        node_factory=_price_factory,
+        seed=SEED,
+        delay=UniformDelay(0.1, 1.0),
+        mrai=MRAIConfig(0.5, MRAI_PEER, jitter=0.25),
+        obs=observer,
+    )
+    engine.initialize()
+    engine.schedule_event(0.4, LinkFailure(2, 3))  # B--D, mid initial flood
+    engine.schedule_event(2.0, LinkRecovery(2, 3))
+    report = engine.run()
+    return engine, report
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return summarize_trace(str(GOLDEN))
+
+
+@pytest.fixture(scope="module")
+def replay():
+    return scripted_scenario()
+
+
+def test_fixture_is_a_valid_trace():
+    assert validate_trace(str(GOLDEN)) > 0
+
+
+def test_replay_converges_to_centralized_model(replay):
+    engine, report = replay
+    assert report.converged
+    assert report.network_events == 2
+    result = DistributedPriceResult(
+        graph=fig1_graph(), engine=engine, report=report, mode=UpdateMode.MONOTONE
+    )
+    verify_against_centralized(result).raise_on_mismatch()
+
+
+def test_summary_rederives_the_report_bit_for_bit(recorded, replay):
+    _engine, report = replay
+    assert recorded.timed_seen
+    assert recorded.deliveries == report.deliveries
+    assert recorded.rows_sent == report.rows_sent
+    assert recorded.rows_suppressed == report.rows_suppressed
+    assert recorded.timed_messages_lost == report.messages_lost
+    assert recorded.timed_network_events == report.network_events
+    assert recorded.timed_mrai_deferrals == report.mrai_deferrals
+    assert recorded.timed_mrai_flushes == report.mrai_flushes
+    assert recorded.timed_mrai_coalesced == report.mrai_rows_coalesced
+    # exact float equality: both sides are the same deterministic
+    # virtual-clock arithmetic, recorded vs replayed
+    assert recorded.timed_clock == report.clock
+    assert recorded.timed_convergence_time == report.convergence_time
+
+
+def test_summary_tables_render_the_timed_section(recorded):
+    from repro.obs.trace import summary_tables
+
+    rendered = "\n".join(table.render() for table in summary_tables(recorded))
+    assert "virtual clock at drain" in rendered
+    assert "MRAI rows coalesced" in rendered
+
+
+def test_cli_summarize_reads_the_fixture(capsys):
+    from repro.cli import main
+
+    assert main(["trace", "summarize", str(GOLDEN)]) == 0
+    out = capsys.readouterr().out
+    assert "virtual clock at drain" in out
+
+
+def _regenerate():
+    observer = obs_mod.Obs()
+    sink = observer.add_sink(obs_mod.JSONLSink(str(GOLDEN)))
+    _engine, report = scripted_scenario(observer)
+    sink.close()
+    print(f"wrote {GOLDEN}")
+    print(
+        f"deliveries={report.deliveries} rows_sent={report.rows_sent} "
+        f"lost={report.messages_lost} clock={report.clock:.6f}"
+    )
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -1,0 +1,461 @@
+"""The timed substrate: differential timing-realism tests.
+
+Three contracts, in increasing strength:
+
+* *Degenerate timing is the async engine*: with the default uniform
+  jitter and MRAI off the discrete-event engine must reproduce the
+  :class:`AsynchronousEngine`'s delivery schedule and converged model
+  **bit for bit** for every seed (same RNG draw sequence, same FIFO
+  clamp, same tie-breaking).
+* *Correctness is timing-independent*: under any seeded delay
+  distribution and MRAI configuration -- including mid-flight link
+  failures and recoveries -- the converged routes and prices equal the
+  centralized Theorem 1 reference exactly.
+* *The simulation itself is deterministic*: virtual time never runs
+  backwards, ties break by sequence number, and the full event trace is
+  a pure function of the seed.
+
+Plus accounting: the MRAI/loss counters must reconcile against the rows
+actually transported (see :class:`repro.bgp.metrics.TimedReport`), and
+a checked-in golden JSONL trace must summarize back to the recorded
+run's report numbers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.delays import ConstantDelay, LogNormalDelay, UniformDelay, parse_delay
+from repro.bgp.engine import AsynchronousEngine
+from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
+from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig, TimedEngine
+from repro.core.dynamics import run_timed_scenario
+from repro.core.price_node import PriceComputingNode, UpdateMode
+from repro.core.protocol import run_timed_mechanism, verify_against_centralized
+from repro.exceptions import ProtocolError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import fig1_graph, integer_costs, isp_like_graph
+
+
+# ----------------------------------------------------------------------
+# Helpers (same shapes as test_delta_protocol)
+# ----------------------------------------------------------------------
+def _price_factory(mode):
+    def factory(node_id, cost, policy):
+        return PriceComputingNode(node_id, cost, policy, mode=mode)
+
+    return factory
+
+
+FACTORIES = {
+    "plain": None,
+    "price-monotone": _price_factory(UpdateMode.MONOTONE),
+    "price-recompute": _price_factory(UpdateMode.RECOMPUTE),
+}
+
+#: Delay/MRAI settings exercised by the parity tests.
+TIMINGS = {
+    "zero": (ConstantDelay(0.0), None),
+    "constant": (ConstantDelay(0.25), None),
+    "uniform": (UniformDelay(0.1, 1.0), None),
+    "lognormal": (LogNormalDelay(-2.0, 0.8), None),
+    "peer-mrai": (UniformDelay(0.1, 1.0), MRAIConfig(1.0, MRAI_PEER, jitter=0.25)),
+    "prefix-mrai": (LogNormalDelay(-2.0, 0.8), MRAIConfig(0.5, MRAI_PREFIX)),
+}
+
+
+def _engine_state(engine):
+    """Converged model state: routes, price rows, StateReport numbers."""
+    state = {}
+    for node_id, node in engine.nodes.items():
+        routes = sorted(
+            (d, e.path, e.cost, tuple(sorted(e.node_costs.items())))
+            for d, e in node.routes.items()
+        )
+        prices = sorted(
+            (d, tuple(sorted(row.items())))
+            for d, row in getattr(node, "price_rows", {}).items()
+        )
+        state[node_id] = (routes, prices)
+    return state
+
+
+def _timed_engine(graph, workload="plain", **kwargs):
+    factory = FACTORIES[workload]
+    if factory is not None:
+        kwargs["node_factory"] = factory
+    return TimedEngine(graph, **kwargs)
+
+
+def _assert_reconciled(engine):
+    """The two TimedReport accounting invariants, at drain."""
+    report = engine.run()  # idempotent on a drained engine
+    assert engine.pending_mrai_rows() == 0
+    assert report.rows_offered == (
+        report.rows_sent + report.mrai_rows_coalesced + report.mrai_rows_discarded
+    )
+    assert report.rows_sent == report.rows_delivered + report.rows_lost
+    return report
+
+
+@st.composite
+def protocol_graphs(draw, min_nodes=4, max_nodes=9):
+    n = draw(st.integers(min_nodes, max_nodes))
+    costs = draw(st.lists(st.integers(0, 6).map(float), min_size=n, max_size=n))
+    chord_pool = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 2, n)
+        if not (i == 0 and j == n - 1)
+    ]
+    chords = (
+        draw(st.lists(st.sampled_from(chord_pool), unique=True, max_size=6))
+        if chord_pool
+        else []
+    )
+    edges = [(i, (i + 1) % n) for i in range(n)] + list(chords)
+    return ASGraph(nodes=list(enumerate(costs)), edges=edges)
+
+
+# ----------------------------------------------------------------------
+# Unit: delay models and MRAI configuration
+# ----------------------------------------------------------------------
+class TestDelayModels:
+    def test_parse_delay_forms(self):
+        assert parse_delay("constant:0.5") == ConstantDelay(0.5)
+        assert parse_delay("uniform:0.1,1.0") == UniformDelay(0.1, 1.0)
+        assert parse_delay("lognormal:-2,0.5") == LogNormalDelay(-2.0, 0.5)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "gaussian:1", "uniform:1", "uniform:2,1", "constant:-1", "constant:x"],
+    )
+    def test_parse_delay_rejects_malformed(self, spec):
+        with pytest.raises(ProtocolError):
+            parse_delay(spec)
+
+    def test_constant_draws_nothing_from_the_rng(self):
+        import random
+
+        rng = random.Random(0)
+        before = rng.getstate()
+        assert ConstantDelay(0.3).sample(rng) == 0.3
+        assert rng.getstate() == before
+
+    def test_uniform_matches_async_engine_draw(self):
+        import random
+
+        model = UniformDelay(0.1, 1.0)
+        assert model.sample(random.Random(7)) == random.Random(7).uniform(0.1, 1.0)
+
+    def test_means(self):
+        assert ConstantDelay(0.4).mean() == 0.4
+        assert UniformDelay(0.0, 1.0).mean() == 0.5
+        assert LogNormalDelay(-2.0, 0.5).mean() > 0.0
+
+    def test_describe_roundtrips_through_parse(self):
+        for model in (ConstantDelay(0.5), UniformDelay(0.1, 1.0), LogNormalDelay(-2, 0.8)):
+            assert parse_delay(model.describe()) == model
+
+
+class TestMRAIConfig:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            MRAIConfig(0.0)
+        with pytest.raises(ProtocolError):
+            MRAIConfig(1.0, mode="session")
+        with pytest.raises(ProtocolError):
+            MRAIConfig(1.0, jitter=1.5)
+
+    def test_describe(self):
+        assert MRAIConfig(1.0, MRAI_PEER, jitter=0.25).describe() == "mrai:peer:1,jitter=0.25"
+        assert "prefix" in MRAIConfig(2.0, MRAI_PREFIX).describe()
+
+    def test_non_fifo_links_rejected(self):
+        with pytest.raises(ProtocolError):
+            TimedEngine(fig1_graph(), fifo_links=False)
+
+
+# ----------------------------------------------------------------------
+# Contract 1: degenerate timing == AsynchronousEngine, bit for bit
+# ----------------------------------------------------------------------
+class TestAsyncBitIdentity:
+    def _run_both(self, graph, seed, workload="plain"):
+        timed = _timed_engine(graph, workload, seed=seed, delay=UniformDelay(0.1, 1.0))
+        timed.delivery_log = []
+        timed.initialize()
+        timed_report = timed.run()
+
+        kwargs = {"seed": seed}
+        if FACTORIES[workload] is not None:
+            kwargs["node_factory"] = FACTORIES[workload]
+        async_engine = AsynchronousEngine(graph, **kwargs)
+        async_engine.delivery_log = []
+        async_engine.run()
+        return timed, timed_report, async_engine
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_schedule_and_model_identical(self, seed):
+        graph = isp_like_graph(12, seed=seed, cost_sampler=integer_costs(1, 6))
+        timed, report, async_engine = self._run_both(graph, seed)
+        # the *schedule* -- every delivery's timestamp, link, and size
+        assert timed.delivery_log == async_engine.delivery_log
+        assert report.deliveries == async_engine.deliveries
+        assert report.rows_sent == async_engine.rows_sent
+        assert report.rows_suppressed == async_engine.rows_suppressed
+        # ... and the converged model
+        assert _engine_state(timed) == _engine_state(async_engine)
+
+    @pytest.mark.parametrize("workload", ["price-monotone", "price-recompute"])
+    def test_price_workloads_identical(self, workload):
+        graph = isp_like_graph(10, seed=3, cost_sampler=integer_costs(1, 6))
+        timed, _report, async_engine = self._run_both(graph, 3, workload)
+        assert timed.delivery_log == async_engine.delivery_log
+        assert _engine_state(timed) == _engine_state(async_engine)
+
+    @settings(max_examples=10, deadline=None)
+    @given(protocol_graphs(), st.integers(0, 2**16))
+    def test_bit_identity_on_random_graphs(self, graph, seed):
+        timed, _report, async_engine = self._run_both(graph, seed)
+        assert timed.delivery_log == async_engine.delivery_log
+        assert _engine_state(timed) == _engine_state(async_engine)
+
+    def test_zero_delay_collapses_virtual_time(self):
+        graph = fig1_graph()
+        engine = _timed_engine(graph, seed=0, delay=ConstantDelay(0.0))
+        engine.initialize()
+        report = engine.run()
+        assert report.converged
+        assert report.clock == 0.0
+        assert report.convergence_time == 0.0
+        assert verify_against_centralized(
+            run_timed_mechanism(graph, seed=0, delay=ConstantDelay(0.0))
+        ).ok
+
+
+# ----------------------------------------------------------------------
+# Contract 2: centralized parity under every timing model
+# ----------------------------------------------------------------------
+class TestCentralizedParity:
+    @pytest.mark.parametrize("timing", sorted(TIMINGS))
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_parity_fixed_graphs(self, timing, seed):
+        delay, mrai = TIMINGS[timing]
+        graph = isp_like_graph(12, seed=seed, cost_sampler=integer_costs(1, 6))
+        result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+        assert result.report.converged
+        verify_against_centralized(result).raise_on_mismatch()
+
+    @pytest.mark.slow
+    @settings(max_examples=12, deadline=None)
+    @given(
+        protocol_graphs(min_nodes=4, max_nodes=8),
+        st.integers(0, 2**16),
+        st.sampled_from(sorted(TIMINGS)),
+    )
+    def test_parity_random(self, graph, seed, timing):
+        delay, mrai = TIMINGS[timing]
+        result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+        assert result.report.converged
+        verify_against_centralized(result).raise_on_mismatch()
+
+
+# ----------------------------------------------------------------------
+# Contract 3: virtual-clock monotonicity & deterministic tie-breaking
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def _trace(self, graph, seed, timing="peer-mrai"):
+        delay, mrai = TIMINGS[timing]
+        engine = _timed_engine(graph, seed=seed, delay=delay, mrai=mrai)
+        engine.event_log = []
+        engine.initialize()
+        engine.run()
+        return engine.event_log
+
+    def test_same_seed_same_event_trace(self):
+        graph = isp_like_graph(10, seed=5, cost_sampler=integer_costs(1, 6))
+        first = self._trace(graph, seed=42)
+        second = self._trace(graph, seed=42)
+        assert first == second
+        assert first  # non-vacuous
+
+    def test_clock_is_monotone(self):
+        graph = isp_like_graph(10, seed=5, cost_sampler=integer_costs(1, 6))
+        trace = self._trace(graph, seed=9, timing="lognormal")
+        times = [when for when, _kind, _detail in trace]
+        assert times == sorted(times)
+
+    @settings(max_examples=10, deadline=None)
+    @given(protocol_graphs(), st.integers(0, 2**16), st.sampled_from(sorted(TIMINGS)))
+    def test_event_trace_is_a_function_of_the_seed(self, graph, seed, timing):
+        delay, mrai = TIMINGS[timing]
+        traces = []
+        for _ in range(2):
+            engine = _timed_engine(graph, seed=seed, delay=delay, mrai=mrai)
+            engine.event_log = []
+            engine.initialize()
+            engine.run()
+            traces.append(engine.event_log)
+            times = [when for when, _kind, _detail in engine.event_log]
+            assert times == sorted(times)
+        assert traces[0] == traces[1]
+
+    def test_scheduling_into_the_past_is_rejected(self):
+        graph = fig1_graph()
+        engine = TimedEngine(graph, seed=0)
+        engine.initialize()
+        engine.run()
+        assert engine.clock > 0.0
+        with pytest.raises(ProtocolError):
+            engine.schedule_event(0.0, LinkFailure(0, 1))
+
+
+# ----------------------------------------------------------------------
+# Fault sequences: timed failures/restores mid-flight
+# ----------------------------------------------------------------------
+class TestFaultSequences:
+    def _chords(self, graph):
+        """Edges whose removal keeps the ring (and biconnectivity)."""
+        n = graph.num_nodes
+        ring = {(i, (i + 1) % n) for i in range(n)}
+        ring |= {(b, a) for a, b in ring}
+        return sorted((u, v) for u, v in graph.edges if (u, v) not in ring)
+
+    @pytest.mark.parametrize("timing", ["uniform", "peer-mrai"])
+    def test_midflight_fail_and_restore(self, timing):
+        delay, mrai = TIMINGS[timing]
+        graph = isp_like_graph(12, seed=1, cost_sampler=integer_costs(1, 6))
+        chords = self._chords(graph)
+        assert chords
+        u, v = chords[0]
+        # t=0.2 lands inside the initial flood: in-flight messages on
+        # the failed link must be dropped, not delivered
+        run = run_timed_scenario(
+            graph,
+            [
+                (0.2, LinkFailure(u, v)),
+                (1.5, CostChange(sorted(graph.nodes)[1], 9.0)),
+                (2.5, LinkRecovery(u, v)),
+            ],
+            seed=7,
+            delay=delay,
+            mrai=mrai,
+        )
+        assert run.ok
+        assert run.events_applied == 3
+        run.verification.raise_on_mismatch()
+        report = run.report
+        assert report.network_events == 3
+        if timing == "uniform":
+            assert report.messages_lost > 0
+        assert report.rows_offered == (
+            report.rows_sent + report.mrai_rows_coalesced + report.mrai_rows_discarded
+        )
+        assert report.rows_sent == report.rows_delivered + report.rows_lost
+
+    @pytest.mark.slow
+    @settings(max_examples=8, deadline=None)
+    @given(
+        protocol_graphs(min_nodes=5, max_nodes=8),
+        st.integers(0, 2**16),
+        st.sampled_from(["uniform", "peer-mrai", "prefix-mrai"]),
+        st.data(),
+    )
+    def test_random_fault_sequences_converge_with_parity(
+        self, graph, seed, timing, data
+    ):
+        delay, mrai = TIMINGS[timing]
+        chords = self._chords(graph)
+        events = []
+        failed = []
+        when = 0.0
+        n = graph.num_nodes
+        for _ in range(data.draw(st.integers(1, 4), label="num_events")):
+            when += data.draw(st.floats(0.1, 2.0, allow_nan=False), label="gap")
+            choices = ["change_cost"]
+            if chords:
+                choices.append("fail_link")
+            if failed:
+                choices.append("restore_link")
+            kind = data.draw(st.sampled_from(choices), label="event")
+            if kind == "change_cost":
+                node = data.draw(st.integers(0, n - 1), label="node")
+                cost = float(data.draw(st.integers(0, 9), label="cost"))
+                events.append((when, CostChange(node, cost)))
+            elif kind == "fail_link":
+                index = data.draw(st.integers(0, len(chords) - 1), label="edge")
+                edge = chords.pop(index)
+                failed.append(edge)
+                events.append((when, LinkFailure(*edge)))
+            else:
+                index = data.draw(st.integers(0, len(failed) - 1), label="restore")
+                edge = failed.pop(index)
+                chords.append(edge)
+                events.append((when, LinkRecovery(*edge)))
+        run = run_timed_scenario(graph, events, seed=seed, delay=delay, mrai=mrai)
+        assert run.report.converged
+        run.verification.raise_on_mismatch()
+        report = run.report
+        assert report.rows_offered == (
+            report.rows_sent + report.mrai_rows_coalesced + report.mrai_rows_discarded
+        )
+        assert report.rows_sent == report.rows_delivered + report.rows_lost
+
+
+# ----------------------------------------------------------------------
+# MRAI accounting
+# ----------------------------------------------------------------------
+class TestMRAIAccounting:
+    def test_suppression_reconciles_with_rows_delivered(self):
+        graph = isp_like_graph(16, seed=0, cost_sampler=integer_costs(1, 6))
+        engine = _timed_engine(
+            graph,
+            "price-monotone",
+            seed=0,
+            delay=UniformDelay(0.1, 1.0),
+            mrai=MRAIConfig(1.0, MRAI_PEER, jitter=0.25),
+        )
+        engine.initialize()
+        report = _assert_reconciled(engine)
+        assert report.converged
+        assert report.mrai_deferrals > 0
+        assert report.mrai_flushes > 0
+        assert report.mrai_rows_coalesced > 0
+        # nothing was lost on a healthy topology
+        assert report.rows_lost == 0 and report.messages_lost == 0
+
+    def test_mrai_reduces_deliveries(self):
+        graph = isp_like_graph(16, seed=0, cost_sampler=integer_costs(1, 6))
+        deliveries = {}
+        for label in ("uniform", "peer-mrai"):
+            delay, mrai = TIMINGS[label]
+            result = run_timed_mechanism(graph, seed=0, delay=delay, mrai=mrai)
+            assert verify_against_centralized(result).ok
+            deliveries[label] = result.report.deliveries
+        assert deliveries["peer-mrai"] < deliveries["uniform"]
+
+    def test_failure_discards_pending_mrai_rows(self):
+        graph = isp_like_graph(12, seed=4, cost_sampler=integer_costs(1, 6))
+        n = graph.num_nodes
+        ring = {(i, (i + 1) % n) for i in range(n)} | {
+            ((i + 1) % n, i) for i in range(n)
+        }
+        chord = sorted((u, v) for u, v in graph.edges if (u, v) not in ring)[0]
+        run = run_timed_scenario(
+            graph,
+            [(0.3, LinkFailure(*chord))],
+            seed=4,
+            delay=UniformDelay(0.1, 1.0),
+            mrai=MRAIConfig(2.0, MRAI_PEER),
+        )
+        assert run.ok
+        report = run.report
+        # pending rows on the failed session never hit the wire ...
+        assert report.mrai_rows_discarded >= 0
+        # ... and the books still balance
+        assert report.rows_offered == (
+            report.rows_sent + report.mrai_rows_coalesced + report.mrai_rows_discarded
+        )
+        assert report.rows_sent == report.rows_delivered + report.rows_lost
+        assert run.engine.pending_mrai_rows() == 0
