@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze test bench bench-protocol bench-dynamics bench-analyzer bench-timed sanitize-test test-engines test-timed trace-smoke
+.PHONY: check lint analyze test test-deprecations bench bench-protocol bench-dynamics bench-analyzer bench-timed sanitize-test test-engines test-timed trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -21,6 +21,12 @@ analyze:
 test:
 	$(PYTHON) -m pytest -x -q
 
+# the suite with DeprecationWarning promoted to an error: internal code
+# (and every test except the wrappers' own pytest.deprecated_call
+# blocks) must not touch the shims it deprecates
+test-deprecations:
+	$(PYTHON) -m pytest -x -q -W error::DeprecationWarning
+
 # the whole suite doubles as a sanitizer stress test: every protocol
 # run is invariant-checked end to end
 sanitize-test:
@@ -34,8 +40,7 @@ test-engines:
 		tests/test_engine_differential.py \
 		tests/test_golden_engines.py \
 		tests/test_engine_parallel.py \
-		tests/test_engine_registry.py \
-		tests/test_scipy_engine.py
+		tests/test_engine_registry.py
 
 # timed-substrate differential suite: async bit-identity, centralized
 # parity under every delay/MRAI setting, determinism, fault sequences,

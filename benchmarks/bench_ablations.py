@@ -10,19 +10,19 @@ from repro.bgp.policy import LowestCostPolicy
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
     DistributedPriceResult,
-    run_distributed_mechanism,
+    distributed_mechanism,
     verify_against_centralized,
 )
 from repro.graphs.generators import waxman_graph
 
 
 def test_bench_monotone_mode(benchmark, isp16):
-    result = benchmark(run_distributed_mechanism, isp16, UpdateMode.MONOTONE)
+    result = benchmark(distributed_mechanism, isp16, UpdateMode.MONOTONE)
     assert verify_against_centralized(result).ok
 
 
 def test_bench_recompute_mode(benchmark, isp16):
-    result = benchmark(run_distributed_mechanism, isp16, UpdateMode.RECOMPUTE)
+    result = benchmark(distributed_mechanism, isp16, UpdateMode.RECOMPUTE)
     assert verify_against_centralized(result).ok
 
 

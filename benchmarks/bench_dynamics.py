@@ -1,7 +1,7 @@
 """E10: reconvergence under dynamics (failure / recovery / re-price)."""
 
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
-from repro.core.dynamics import run_dynamic_scenario
+from repro.core.dynamics import dynamic_scenario
 from repro.graphs.biconnectivity import is_biconnected
 
 
@@ -19,6 +19,6 @@ def _script(graph):
 
 def test_bench_dynamic_scenario(benchmark, isp16):
     events = _script(isp16)
-    run = benchmark(run_dynamic_scenario, isp16, events)
+    run = benchmark(dynamic_scenario, isp16, events)
     assert run.all_ok
     assert run.all_within_bound

@@ -7,18 +7,18 @@ instance and asserts exact agreement with the centralized mechanism.
 import pytest
 
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 
 
 @pytest.mark.parametrize("mode", list(UpdateMode), ids=lambda m: m.value)
 def test_bench_distributed_mechanism(benchmark, isp16, mode):
-    result = benchmark(run_distributed_mechanism, isp16, mode)
+    result = benchmark(distributed_mechanism, isp16, mode)
     assert verify_against_centralized(result).ok
 
 
 def test_bench_distributed_mechanism_async(benchmark, isp16):
     def run():
-        return run_distributed_mechanism(isp16, asynchronous=True, seed=0)
+        return distributed_mechanism(isp16, asynchronous=True, seed=0)
 
     result = benchmark(run)
     assert verify_against_centralized(result).ok

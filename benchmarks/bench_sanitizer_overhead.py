@@ -10,7 +10,7 @@ it is intentionally expensive -- a debugging mode, not a shipping mode).
 
 import pytest
 
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.devtools import sanitize
 from repro.mechanism.vcg import compute_price_table
 
@@ -28,14 +28,14 @@ def _restore_sanitizer_state():
 def test_bench_distributed_sanitizer_off(benchmark, isp16):
     sanitize.disable()
     checks_before = sanitize.checks_run()
-    result = benchmark(run_distributed_mechanism, isp16)
+    result = benchmark(distributed_mechanism, isp16)
     assert verify_against_centralized(result).ok
     assert sanitize.checks_run() == checks_before  # off means *zero* checks
 
 
 def test_bench_distributed_sanitizer_on(benchmark, isp16):
     sanitize.enable()
-    result = benchmark(run_distributed_mechanism, isp16)
+    result = benchmark(distributed_mechanism, isp16)
     assert verify_against_centralized(result).ok
     assert sanitize.checks_run() > 0
 

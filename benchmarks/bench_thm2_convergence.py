@@ -7,7 +7,7 @@ the measured stages never exceed max(d, d').
 import pytest
 
 from repro.core.convergence import convergence_bound
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.graphs.generators import (
     grid_graph,
     integer_costs,
@@ -31,7 +31,7 @@ def test_bench_convergence(benchmark, family):
     graph = FAMILIES[family]()
     bound = convergence_bound(graph)
 
-    result = benchmark(run_distributed_mechanism, graph)
+    result = benchmark(distributed_mechanism, graph)
     assert result.stages <= bound.stages, (
         f"{family}: {result.stages} stages > max(d, d') = {bound.stages}"
     )

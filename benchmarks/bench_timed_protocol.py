@@ -36,8 +36,8 @@ from repro.bgp.delays import ConstantDelay, DelayModel, LogNormalDelay, UniformD
 from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig
 from repro.core.convergence import convergence_bound
 from repro.core.protocol import (
-    run_distributed_mechanism,
-    run_timed_mechanism,
+    distributed_mechanism,
+    timed_mechanism,
     verify_against_centralized,
 )
 from repro.graphs.asgraph import ASGraph
@@ -87,7 +87,7 @@ def _run_timed_once(
     seed: int,
 ) -> Dict[str, Any]:
     started = time.perf_counter()
-    result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+    result = timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
     elapsed = time.perf_counter() - started
     verification = verify_against_centralized(result)
     report = result.report
@@ -111,7 +111,7 @@ def run_config(family: str, n: int, seed: int = 0) -> Dict[str, Any]:
     graph = _make_graph(family, n, seed)
     bound = convergence_bound(graph)
     started = time.perf_counter()
-    sync = run_distributed_mechanism(graph)
+    sync = distributed_mechanism(graph)
     sync_wall = time.perf_counter() - started
     sync_ok = verify_against_centralized(sync).ok
     timed = [
@@ -204,11 +204,11 @@ def test_bench_timed_mrai(benchmark):
     _setting, delay, mrai = SETTINGS[2]  # peer-based MRAI over jitter
 
     def run_once():
-        return run_timed_mechanism(graph, seed=0, delay=delay, mrai=mrai)
+        return timed_mechanism(graph, seed=0, delay=delay, mrai=mrai)
 
     result = benchmark(run_once)
     assert verify_against_centralized(result).ok
-    baseline = run_timed_mechanism(graph, seed=0, delay=UniformDelay(0.1, 1.0))
+    baseline = timed_mechanism(graph, seed=0, delay=UniformDelay(0.1, 1.0))
     # MRAI trades virtual latency for fewer deliveries.
     assert result.report.deliveries < baseline.report.deliveries
     assert result.report.convergence_time > 0.0

@@ -12,7 +12,7 @@ Run:  python examples/accounting_demo.py
 
 from repro.accounting.settlement import settle
 from repro.accounting.tally import PacketTally
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.graphs.generators import integer_costs, random_biconnected_graph
 from repro.mechanism.vcg import compute_price_table, payments
 from repro.traffic.generators import hotspot_traffic
@@ -21,7 +21,7 @@ from repro.traffic.generators import hotspot_traffic
 def main() -> None:
     graph = random_biconnected_graph(14, 0.25, seed=9,
                                      cost_sampler=integer_costs(1, 5))
-    result = run_distributed_mechanism(graph)
+    result = distributed_mechanism(graph)
     assert verify_against_centralized(result).ok
     print(f"Distributed mechanism converged on {graph.num_nodes} ASes "
           f"in {result.stages} stages")

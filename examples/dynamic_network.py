@@ -13,7 +13,7 @@ Run:  python examples/dynamic_network.py
 
 from repro.bgp.engine import SynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
-from repro.core.dynamics import apply_event_to_graph, run_dynamic_scenario
+from repro.core.dynamics import apply_event_to_graph, dynamic_scenario
 from repro.graphs.biconnectivity import is_biconnected
 from repro.graphs.generators import integer_costs, isp_like_graph
 
@@ -38,7 +38,7 @@ def main() -> None:
     for event in events:
         print(f"  - {event.describe()}")
 
-    run = run_dynamic_scenario(graph, events)
+    run = dynamic_scenario(graph, events)
     print(f"\n{'epoch':<32} {'stages':>7} {'bound':>6} {'prices':>7}")
     for epoch in run.epochs:
         print(f"{epoch.description:<32} {epoch.stages:>7} "

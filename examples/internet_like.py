@@ -14,7 +14,7 @@ Run:  python examples/internet_like.py [n]
 
 import sys
 
-from repro import compute_price_table, convergence_bound, run_distributed_mechanism
+from repro import compute_price_table, convergence_bound, distributed_mechanism
 from repro.graphs.generators import integer_costs, isp_like_graph
 from repro.mechanism.overpayment import overpayment_stats
 from repro.mechanism.vcg import payments
@@ -26,7 +26,7 @@ def main(n: int = 24) -> None:
     print(f"ISP-like topology: {graph.num_nodes} ASes, {graph.num_edges} links")
 
     bound = convergence_bound(graph)
-    result = run_distributed_mechanism(graph)
+    result = distributed_mechanism(graph)
     print(f"\nBGP-based price computation converged in {result.stages} stages; "
           f"d = {bound.d}, d' = {bound.d_prime}, bound max(d, d') = {bound.stages}")
     print("(on Internet-like graphs d' stays close to d, as Sect. 6.2 expects)")

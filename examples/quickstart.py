@@ -13,7 +13,7 @@ from repro import (
     compute_price_table,
     convergence_bound,
     fig1_graph,
-    run_distributed_mechanism,
+    distributed_mechanism,
     verify_against_centralized,
 )
 from repro.graphs.generators import FIG1_LABELS
@@ -48,7 +48,7 @@ def main() -> None:
 
     # --- distributed protocol (Section 6) --------------------------------
     bound = convergence_bound(graph)
-    result = run_distributed_mechanism(graph)
+    result = distributed_mechanism(graph)
     print(f"\nDistributed protocol converged in {result.stages} stages "
           f"(Theorem 2 bound: max(d, d') = max({bound.d}, {bound.d_prime}) "
           f"= {bound.stages})")

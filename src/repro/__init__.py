@@ -31,7 +31,7 @@ Quickstart::
 
     graph = api.fig1_graph()
     table = api.compute_price_table(graph)          # centralized Theorem 1
-    result = api.run_distributed_mechanism(graph)   # BGP-based, Sect. 6
+    result = api.run(graph)                         # BGP-based, Sect. 6
     assert result.price(3, 4, 5) == table.price(3, 4, 5) == 9.0
 """
 
@@ -39,9 +39,11 @@ from repro.core.convergence import ConvergenceBound, convergence_bound
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
     DistributedPriceResult,
+    distributed_mechanism,
     run_distributed_mechanism,
     verify_against_centralized,
 )
+from repro.core.run import run
 from repro.graphs.asgraph import ASGraph
 from repro.graphs.generators import fig1_graph
 from repro.mechanism.vcg import PriceTable, compute_price_table, vcg_price
@@ -62,7 +64,9 @@ __all__ = [
     "all_pairs_lcp",
     "compute_price_table",
     "convergence_bound",
+    "distributed_mechanism",
     "fig1_graph",
+    "run",
     "run_distributed_mechanism",
     "vcg_price",
     "verify_against_centralized",

@@ -7,7 +7,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.convergence import convergence_bound
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.graphs.asgraph import ASGraph
 
 
@@ -42,7 +42,7 @@ def convergence_row(
     plain.initialize()
     plain_report = plain.run()
 
-    result = run_distributed_mechanism(graph, mode=mode)
+    result = distributed_mechanism(graph, mode=mode)
     verification = verify_against_centralized(result)
 
     return ConvergenceRow(

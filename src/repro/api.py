@@ -13,23 +13,17 @@ not.  One symbol per concept:
 * :func:`get_engine` -- instantiate a computation backend from the
   engine registry by name (``reference`` | ``scipy`` | ``parallel`` |
   ``incremental``).
-* :func:`run_distributed_mechanism` -- the paper's contribution: routes
-  *and* prices computed by the BGP-based protocol of Section 6.
+* :func:`run` -- **the** distributed entry point: every substrate and
+  scenario shape behind one call.  ``protocol=`` picks the staged
+  engine (``"delta"`` incremental transport, ``"full"`` literal
+  Sect. 5 tables) or the discrete-event ``"timed"`` substrate;
+  ``events=`` switches from one convergence to the Sect. 6 dynamics
+  (scripted events, staged; ``(virtual_time, event)`` pairs, timed).
+  ``delay=`` takes a :class:`DelayModel` or a ``"uniform:0.1,1.0"``
+  spec string, ``mrai=`` an :class:`MRAIConfig` or a keyword dict,
+  ``sanitize=`` overrides the global sanitizer switch for the run.
 * :func:`verify_against_centralized` -- compare a distributed result
   with the centralized reference, route by route and price by price.
-* :func:`run_dynamic_scenario` -- Sect. 6 dynamics: drive a converged
-  network through a scripted event sequence, reconverging and verifying
-  after every event (``engine="incremental"`` makes the per-epoch
-  verification warm-start from cached route trees).
-* :func:`run_timed_mechanism` -- the protocol on the discrete-event
-  timed substrate (:class:`TimedEngine`): seeded per-link delay
-  distributions (:class:`ConstantDelay` | :class:`UniformDelay` |
-  :class:`LogNormalDelay`) and optional :class:`MRAIConfig` hold-down
-  timers; same converged model, virtual time replaces stages.
-* :func:`run_timed_scenario` -- network events scheduled at virtual
-  timestamps, interleaved with in-flight protocol traffic (messages on
-  a failing link are lost), verified against the centralized mechanism
-  on the final topology.
 * :func:`fig1_graph` -- the paper's Figure 1 worked example.
 * :func:`analyze_paths` -- the interprocedural determinism/contract
   analyzer (``repro.devtools.flow``); returns the contract findings and
@@ -37,37 +31,44 @@ not.  One symbol per concept:
 * :mod:`obs` -- the observability layer (spans, counters, gauges,
   trace sinks); off by default with zero overhead.
 
+The four historical runners (``run_distributed_mechanism``,
+``run_dynamic_scenario``, ``run_timed_mechanism``,
+``run_timed_scenario``) still work but emit ``DeprecationWarning``;
+they are thin wrappers over the same implementations :func:`run`
+dispatches to.  See the README migration table.
+
 Quickstart::
 
     from repro import api
 
     graph = api.fig1_graph()
-    table = api.compute_price_table(graph)            # Theorem 1
-    result = api.run_distributed_mechanism(graph)     # BGP-based, Sect. 6
+    table = api.compute_price_table(graph)          # Theorem 1
+    result = api.run(graph)                         # BGP-based, Sect. 6
     api.verify_against_centralized(result, table).raise_on_mismatch()
 
-    with api.obs.observed() as observer:              # record a run
-        api.run_distributed_mechanism(graph)
-    observer.counter_total(api.obs.names.MESSAGES)    # paper measure 2
+    with api.obs.observed() as observer:            # record a run
+        api.run(graph)
+    observer.counter_total(api.obs.names.MESSAGES)  # paper measure 2
 
 Dynamics quickstart::
 
     from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
 
     events = [LinkFailure(0, 1), LinkRecovery(0, 1), CostChange(2, 5.0)]
-    run = api.run_dynamic_scenario(graph, events, engine="incremental")
+    run = api.run(graph, events, engine="incremental")
     assert run.all_ok and run.all_within_bound
 
 Timed quickstart::
 
-    result = api.run_timed_mechanism(
+    result = api.run(
         graph,
+        protocol="timed",
         seed=7,
-        delay=api.LogNormalDelay(-2.0, 0.8),
-        mrai=api.MRAIConfig(1.0, mode="peer", jitter=0.25),
+        delay="lognormal:-2.0,0.8",
+        mrai={"interval": 1.0, "mode": "peer", "jitter": 0.25},
     )
     api.verify_against_centralized(result).raise_on_mismatch()
-    result.report.convergence_time                    # virtual seconds
+    result.report.convergence_time                  # virtual seconds
 """
 
 from __future__ import annotations
@@ -79,15 +80,24 @@ from repro.bgp.delays import (
     LogNormalDelay,
     UniformDelay,
     parse_delay,
+    resolve_delay,
 )
-from repro.bgp.timed import MRAIConfig, TimedEngine
-from repro.core.dynamics import run_dynamic_scenario, run_timed_scenario
+from repro.bgp.timed import MRAIConfig, TimedEngine, resolve_mrai
+from repro.core.dynamics import (
+    dynamic_scenario,
+    run_dynamic_scenario,
+    run_timed_scenario,
+    timed_scenario,
+)
 from repro.devtools.flow import analyze_paths
 from repro.core.protocol import (
+    distributed_mechanism,
     run_distributed_mechanism,
     run_timed_mechanism,
+    timed_mechanism,
     verify_against_centralized,
 )
+from repro.core.run import run
 from repro.graphs.asgraph import ASGraph
 from repro.graphs.generators import fig1_graph
 from repro.mechanism.vcg import compute_price_table
@@ -105,13 +115,20 @@ __all__ = [
     "all_pairs_lcp",
     "analyze_paths",
     "compute_price_table",
+    "distributed_mechanism",
+    "dynamic_scenario",
     "fig1_graph",
     "get_engine",
     "obs",
     "parse_delay",
+    "resolve_delay",
+    "resolve_mrai",
+    "run",
     "run_distributed_mechanism",
     "run_dynamic_scenario",
     "run_timed_mechanism",
     "run_timed_scenario",
+    "timed_mechanism",
+    "timed_scenario",
     "verify_against_centralized",
 ]

@@ -26,8 +26,15 @@ from repro.bgp.delays import (
     LogNormalDelay,
     UniformDelay,
     parse_delay,
+    resolve_delay,
 )
-from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig, TimedEngine
+from repro.bgp.timed import (
+    MRAI_PEER,
+    MRAI_PREFIX,
+    MRAIConfig,
+    TimedEngine,
+    resolve_mrai,
+)
 
 __all__ = [
     "RouteAdvertisement",
@@ -49,6 +56,8 @@ __all__ = [
     "UniformDelay",
     "LogNormalDelay",
     "parse_delay",
+    "resolve_delay",
+    "resolve_mrai",
     "MRAIConfig",
     "MRAI_PEER",
     "MRAI_PREFIX",

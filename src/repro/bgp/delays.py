@@ -133,3 +133,21 @@ def parse_delay(spec: str) -> DelayModel:
         f"unknown delay spec {spec!r}; expected constant:D, "
         "uniform:MIN,MAX, or lognormal:MU,SIGMA"
     )
+
+
+def resolve_delay(spec: "str | DelayModel | None") -> "DelayModel | None":
+    """Coerce any accepted delay spelling to a :class:`DelayModel`.
+
+    Every surface that takes a delay -- ``api.run``, the timed runners,
+    the CLI, the benchmarks -- accepts either a model instance or a
+    :func:`parse_delay` spec string; this is the one coercion point.
+    ``None`` passes through (the engine applies its own default).
+    """
+    if spec is None or isinstance(spec, DelayModel):
+        return spec
+    if isinstance(spec, str):
+        return parse_delay(spec)
+    raise ProtocolError(
+        f"delay must be a DelayModel, a spec string, or None; "
+        f"got {type(spec).__name__}"
+    )

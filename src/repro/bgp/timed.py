@@ -51,7 +51,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 import repro.obs as obs_mod
-from repro.bgp.delays import DelayModel, UniformDelay
+from repro.bgp.delays import DelayModel, UniformDelay, resolve_delay
 from repro.bgp.engine import NodeFactory, _default_factory
 from repro.bgp.events import NetworkEvent
 from repro.bgp.messages import RouteAdvertisement, RouteDelta
@@ -112,6 +112,28 @@ class MRAIConfig:
         return f"mrai:{self.mode}:{self.interval:g}{jitter}"
 
 
+def resolve_mrai(spec: "dict | MRAIConfig | None") -> "MRAIConfig | None":
+    """Coerce any accepted MRAI spelling to an :class:`MRAIConfig`.
+
+    Mirrors :func:`repro.bgp.delays.resolve_delay`: every surface that
+    takes an MRAI configuration accepts either a config instance or a
+    keyword dict (``{"interval": 1.0, "mode": "peer", "jitter": 0.25}``)
+    validated by the :class:`MRAIConfig` constructor itself.  ``None``
+    passes through (hold-down off).
+    """
+    if spec is None or isinstance(spec, MRAIConfig):
+        return spec
+    if isinstance(spec, dict):
+        try:
+            return MRAIConfig(**spec)
+        except TypeError as exc:
+            raise ProtocolError(f"malformed MRAI spec {spec!r}: {exc}") from None
+    raise ProtocolError(
+        f"mrai must be an MRAIConfig, a keyword dict, or None; "
+        f"got {type(spec).__name__}"
+    )
+
+
 class TimedEngine:
     """Discrete-event relaxation of the stage model with real timers.
 
@@ -138,8 +160,8 @@ class TimedEngine:
         node_factory: NodeFactory = _default_factory,
         restart_on_events: bool = True,
         seed: int = 0,
-        delay: Optional[DelayModel] = None,
-        mrai: Optional[MRAIConfig] = None,
+        delay: Union[str, DelayModel, None] = None,
+        mrai: Union[dict, MRAIConfig, None] = None,
         fifo_links: bool = True,
         obs: Optional[obs_mod.Obs] = None,
     ) -> None:
@@ -153,8 +175,11 @@ class TimedEngine:
         self.policy = policy or LowestCostPolicy()
         self.restart_on_events = restart_on_events
         #: Same defaults as the asynchronous engine's [0.1, 1.0] jitter.
-        self.delay = delay if delay is not None else UniformDelay()
-        self.mrai = mrai
+        #: Spec strings / keyword dicts coerce here, so every caller --
+        #: api.run, the CLI, the benchmarks -- shares one parsing path.
+        resolved_delay = resolve_delay(delay)
+        self.delay = resolved_delay if resolved_delay is not None else UniformDelay()
+        self.mrai = resolve_mrai(mrai)
         self._obs = obs
         self.nodes: Dict[NodeId, BGPNode] = {
             node_id: node_factory(node_id, graph.cost(node_id), self.policy)

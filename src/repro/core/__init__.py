@@ -11,9 +11,12 @@ stages (Theorem 2).
 * :mod:`repro.core.price_node` -- the price-computing BGP node
   (Figure 3's algorithm), in both the paper-faithful *monotone* mode
   and the *recompute* fixpoint mode.
-* :mod:`repro.core.protocol` -- one-call runners that execute the
-  protocol and (optionally) check the result against the centralized
-  Theorem 1 prices.
+* :mod:`repro.core.run` -- the unified :func:`~repro.core.run.run`
+  entry point dispatching every substrate (staged, timed) and both
+  static and scripted-event runs.
+* :mod:`repro.core.protocol` -- the underlying one-call runners that
+  execute the protocol and (optionally) check the result against the
+  centralized Theorem 1 prices.
 * :mod:`repro.core.convergence` -- the ``d`` / ``d'`` bound machinery
   for experiment E5.
 * :mod:`repro.core.dynamics` -- scripted-event reconvergence (E10).
@@ -23,9 +26,12 @@ from repro.core.cases import NeighborRelation, classify_neighbor, price_candidat
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
     DistributedPriceResult,
+    distributed_mechanism,
     run_distributed_mechanism,
+    timed_mechanism,
     verify_against_centralized,
 )
+from repro.core.run import run
 from repro.core.convergence import ConvergenceBound, convergence_bound
 
 __all__ = [
@@ -35,6 +41,9 @@ __all__ = [
     "PriceComputingNode",
     "UpdateMode",
     "DistributedPriceResult",
+    "run",
+    "distributed_mechanism",
+    "timed_mechanism",
     "run_distributed_mechanism",
     "verify_against_centralized",
     "ConvergenceBound",

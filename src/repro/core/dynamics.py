@@ -10,9 +10,11 @@ records the reconvergence stages next to the new instance's
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
+import repro.obs as obs_mod
 from repro.bgp.delays import DelayModel
 from repro.bgp.engine import SynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery, NetworkEvent
@@ -93,7 +95,7 @@ class DynamicsRun:
         return all(epoch.within_bound for epoch in self.epochs)
 
 
-def run_dynamic_scenario(
+def dynamic_scenario(
     graph: ASGraph,
     events: Sequence[NetworkEvent],
     mode: UpdateMode = UpdateMode.MONOTONE,
@@ -102,6 +104,7 @@ def run_dynamic_scenario(
     *,
     engine: Optional["EngineSpec"] = None,
     protocol: str = "delta",
+    obs: Optional[obs_mod.Obs] = None,
 ) -> DynamicsRun:
     """Converge, then apply each event and reconverge, verifying every
     epoch against the centralized mechanism on the mutated graph.
@@ -138,6 +141,7 @@ def run_dynamic_scenario(
         policy=policy,
         node_factory=factory,
         incremental=protocol != "full",
+        obs=obs,
     )
     bgp.initialize()
     run = DynamicsRun()
@@ -186,16 +190,17 @@ class TimedScenarioResult:
         return self.report.converged and self.verification.ok
 
 
-def run_timed_scenario(
+def timed_scenario(
     graph: ASGraph,
     events: Sequence[Tuple[float, NetworkEvent]],
     mode: UpdateMode = UpdateMode.MONOTONE,
     policy: Optional[SelectionPolicy] = None,
     *,
     seed: int = 0,
-    delay: Optional[DelayModel] = None,
-    mrai: Optional[MRAIConfig] = None,
+    delay: Union[str, DelayModel, None] = None,
+    mrai: Union[dict, MRAIConfig, None] = None,
     max_events: Optional[int] = None,
+    obs: Optional[obs_mod.Obs] = None,
 ) -> TimedScenarioResult:
     """Run the timed substrate with network events at virtual times.
 
@@ -228,6 +233,7 @@ def run_timed_scenario(
         seed=seed,
         delay=delay,
         mrai=mrai,
+        obs=obs,
     )
     engine.initialize()
     for _, (when, event) in ordered:
@@ -264,9 +270,9 @@ def _epoch(
     verification = verify_against_centralized(result, table=table)
     # Cold-start reference run on the mutated graph: this is what
     # Theorem 2's bound is actually about.
-    from repro.core.protocol import run_distributed_mechanism
+    from repro.core.protocol import distributed_mechanism
 
-    cold = run_distributed_mechanism(graph, mode=mode, policy=engine.policy)
+    cold = distributed_mechanism(graph, mode=mode, policy=engine.policy)
     return EpochResult(
         description=description,
         graph=graph,
@@ -275,3 +281,24 @@ def _epoch(
         bound=convergence_bound(graph),
         verification=verification,
     )
+
+
+def _warn_renamed(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; call repro.api.run(...) or "
+        f"repro.core.dynamics.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_dynamic_scenario(*args, **kwargs) -> DynamicsRun:
+    """Deprecated alias for :func:`dynamic_scenario`."""
+    _warn_renamed("run_dynamic_scenario", "dynamic_scenario")
+    return dynamic_scenario(*args, **kwargs)
+
+
+def run_timed_scenario(*args, **kwargs) -> TimedScenarioResult:
+    """Deprecated alias for :func:`timed_scenario`."""
+    _warn_renamed("run_timed_scenario", "timed_scenario")
+    return timed_scenario(*args, **kwargs)

@@ -1,15 +1,21 @@
 """One-call runners for the distributed mechanism.
 
-:func:`run_distributed_mechanism` wires price-computing nodes into the
+:func:`distributed_mechanism` wires price-computing nodes into the
 synchronous (or asynchronous) engine, runs to quiescence, and packages
-the network-wide result.  :func:`verify_against_centralized` compares
-every route and every price against the centralized Theorem 1 reference
--- the end-to-end correctness statement of the reproduction.
+the network-wide result; :func:`timed_mechanism` does the same on the
+discrete-event timed substrate.  Both are normally reached through the
+unified dispatcher :func:`repro.core.run.run`.
+:func:`verify_against_centralized` compares every route and every price
+against the centralized Theorem 1 reference -- the end-to-end
+correctness statement of the reproduction.
+
+The historical ``run_*`` names remain as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -118,7 +124,7 @@ class DistributedPriceResult:
         return self.report.stages
 
 
-def run_distributed_mechanism(
+def distributed_mechanism(
     graph: ASGraph,
     mode: UpdateMode = UpdateMode.MONOTONE,
     policy: Optional[SelectionPolicy] = None,
@@ -126,6 +132,8 @@ def run_distributed_mechanism(
     seed: int = 0,
     max_stages: Optional[int] = None,
     obs: Optional[obs_mod.Obs] = None,
+    *,
+    protocol: str = "delta",
 ) -> DistributedPriceResult:
     """Run the full FPSS protocol (routes + prices) to quiescence.
 
@@ -133,7 +141,15 @@ def run_distributed_mechanism(
     to the protocol engine so the run's stage/message/table metrics are
     recorded; ``None`` reports to the global default observer iff
     observability is enabled.
+
+    *protocol* selects the BGP transport: ``delta`` (incremental row
+    exchanges, the default) or ``full`` (literal Sect. 5 full routing
+    tables); the converged result is bit-identical either way.
     """
+    if protocol not in ("delta", "full"):
+        raise MechanismError(
+            f"unknown transport protocol {protocol!r}; expected 'delta' or 'full'"
+        )
     policy = policy or LowestCostPolicy()
     if sanitize.enabled():
         # Theorem 1 precondition: without biconnectivity some k-avoiding
@@ -144,15 +160,27 @@ def run_distributed_mechanism(
     def factory(node_id: NodeId, cost: Cost, pol: SelectionPolicy) -> PriceComputingNode:
         return PriceComputingNode(node_id, cost, pol, mode=mode)
 
+    incremental = protocol != "full"
     engine: Union[SynchronousEngine, AsynchronousEngine]
     if asynchronous:
         engine = AsynchronousEngine(
-            graph, policy=policy, node_factory=factory, seed=seed, obs=obs
+            graph,
+            policy=policy,
+            node_factory=factory,
+            seed=seed,
+            incremental=incremental,
+            obs=obs,
         )
         engine.initialize()
         report = engine.run()
     else:
-        engine = SynchronousEngine(graph, policy=policy, node_factory=factory, obs=obs)
+        engine = SynchronousEngine(
+            graph,
+            policy=policy,
+            node_factory=factory,
+            incremental=incremental,
+            obs=obs,
+        )
         engine.initialize()
         report = engine.run(max_stages=max_stages)
     if sanitize.enabled():
@@ -170,23 +198,26 @@ def run_distributed_mechanism(
     return DistributedPriceResult(graph=graph, engine=engine, report=report, mode=mode)
 
 
-def run_timed_mechanism(
+def timed_mechanism(
     graph: ASGraph,
     mode: UpdateMode = UpdateMode.MONOTONE,
     policy: Optional[SelectionPolicy] = None,
     *,
     seed: int = 0,
-    delay: Optional[DelayModel] = None,
-    mrai: Optional[MRAIConfig] = None,
+    delay: Union[str, DelayModel, None] = None,
+    mrai: Union[dict, MRAIConfig, None] = None,
     max_events: Optional[int] = None,
     obs: Optional[obs_mod.Obs] = None,
 ) -> DistributedPriceResult:
     """Run the FPSS protocol on the discrete-event timed substrate.
 
     *delay* is the seeded per-link delay distribution (default: the
-    asynchronous engine's uniform [0.1, 1.0] jitter) and *mrai* the
-    optional hold-down timer configuration -- see
-    :mod:`repro.bgp.timed`.  Whatever the timing, the converged routes
+    asynchronous engine's uniform [0.1, 1.0] jitter), given either as a
+    :class:`DelayModel` or as a ``"kind:params"`` spec string
+    (:func:`repro.bgp.delays.parse_delay`); *mrai* is the optional
+    hold-down timer configuration, an :class:`MRAIConfig` or a keyword
+    dict for one -- see :mod:`repro.bgp.timed`.  Whatever the timing,
+    the converged routes
     and prices are the same LCPs and VCG payments the centralized
     reference computes (:func:`verify_against_centralized`); timing only
     moves the virtual-clock and transport accounting in the report.
@@ -275,3 +306,24 @@ def verify_against_centralized(
                         Mismatch("price", source, destination, k, actual, expected)
                     )
     return report
+
+
+def _warn_renamed(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; call repro.api.run(...) or "
+        f"repro.core.protocol.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_distributed_mechanism(*args, **kwargs) -> DistributedPriceResult:
+    """Deprecated alias for :func:`distributed_mechanism`."""
+    _warn_renamed("run_distributed_mechanism", "distributed_mechanism")
+    return distributed_mechanism(*args, **kwargs)
+
+
+def run_timed_mechanism(*args, **kwargs) -> DistributedPriceResult:
+    """Deprecated alias for :func:`timed_mechanism`."""
+    _warn_renamed("run_timed_mechanism", "timed_mechanism")
+    return timed_mechanism(*args, **kwargs)

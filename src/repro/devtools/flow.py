@@ -35,7 +35,7 @@ Pipeline
 
 ``RPR007`` -- **transitive nondeterminism at a contract entry point.**
     ``all_pairs_lcp``, ``compute_price_table``,
-    ``run_distributed_mechanism``, and every registered engine's
+    ``distributed_mechanism``, and every registered engine's
     route/price methods must be transitively deterministic (no RNG, no
     wall clock, no unordered-set iteration anywhere beneath them) and
     must not mutate their ``graph`` argument.  The finding message
@@ -202,7 +202,7 @@ class EntryContract:
 ENTRY_CONTRACTS: Tuple[EntryContract, ...] = (
     EntryContract("routing/allpairs.py", "all_pairs_lcp"),
     EntryContract("mechanism/vcg.py", "compute_price_table"),
-    EntryContract("core/protocol.py", "run_distributed_mechanism"),
+    EntryContract("core/protocol.py", "distributed_mechanism"),
 )
 
 #: Engine methods the determinism contract covers, resolved per

@@ -51,6 +51,15 @@ paper's correctness results depend on:
     constructor remains legitimate where a true independent graph is
     needed (``graphs/``, ``extensions/``, experiments, tests).
 
+``RPR011`` -- **no imports of deprecated in-tree shims.**  Once a
+    module is demoted to a deprecation shim (today:
+    ``repro.routing.scipy_engine``, superseded by
+    ``repro.routing.engines.vectorized``), in-tree code must import the
+    real home; importing the shim re-entangles the tree with a surface
+    scheduled for deletion and fires the shim's ``DeprecationWarning``
+    inside library code, which the ``-W error::DeprecationWarning`` CI
+    step turns into a failure.
+
 A finding on a given line is suppressed by a trailing
 ``# repro-lint: ok`` comment, optionally scoped to codes:
 ``# repro-lint: ok(RPR001)``.  Suppressions are deliberate escape
@@ -84,6 +93,7 @@ ALL_CODES: Tuple[str, ...] = (
     "RPR004",
     "RPR005",
     "RPR006",
+    "RPR011",
 )
 
 #: Identifier tokens treated as "cost-like" by RPR001.
@@ -157,6 +167,11 @@ _RANDOM_FUNCS = frozenset(
         "getrandbits",
     }
 )
+
+#: Deprecated in-tree shim modules whose import is banned (RPR011).
+#: Grows one entry per demotion; an entry is dropped only when the shim
+#: file itself is deleted from the tree.
+_DEPRECATED_SHIMS = frozenset({"repro.routing.scipy_engine"})
 
 _SUPPRESS = re.compile(r"#\s*repro-lint:\s*ok(?:\(([^)]*)\))?")
 
@@ -303,8 +318,19 @@ class _RuleVisitor(ast.NodeVisitor):
 
     # -- imports (RPR004 alias tracking) -----------------------------
 
+    def _check_shim_import(self, node: ast.AST, module: Optional[str]) -> None:
+        if module in _DEPRECATED_SHIMS:
+            self._emit(
+                node,
+                "RPR011",
+                f"import of deprecated shim module {module}; import its "
+                "replacement instead (the shim exists only for external "
+                "callers and will be removed)",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
+            self._check_shim_import(node, alias.name)
             bound = alias.asname or alias.name.split(".")[0]
             if alias.name == "random":
                 self._random_aliases.add(bound)
@@ -320,6 +346,7 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._check_shim_import(node, node.module)
         if node.module == "random":
             for alias in node.names:
                 if alias.name in _RANDOM_FUNCS:

@@ -27,7 +27,7 @@ variable (read at import), :func:`enable` / :func:`disable`, or the
     from repro.devtools import sanitize
 
     with sanitize.sanitized():
-        result = run_distributed_mechanism(graph)
+        result = distributed_mechanism(graph)
 
 Violations raise :class:`repro.exceptions.SanitizerError`.
 """

@@ -34,7 +34,7 @@ from repro.bgp.policy import LowestCostPolicy
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
     DistributedPriceResult,
-    run_distributed_mechanism,
+    distributed_mechanism,
     verify_against_centralized,
 )
 from repro.experiments.registry import ExperimentResult
@@ -58,7 +58,7 @@ def _mode_comparison(seed: int) -> Tuple[Table, bool]:
         ("isp-like", isp_like_graph(16, seed=seed, cost_sampler=integer_costs(1, 6))),
     ):
         for mode in UpdateMode:
-            result = run_distributed_mechanism(graph, mode=mode)
+            result = distributed_mechanism(graph, mode=mode)
             exact = verify_against_centralized(result).ok
             ok = ok and exact
             table.add_row(

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.report import Table
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery, NetworkEvent
-from repro.core.dynamics import run_dynamic_scenario
+from repro.core.dynamics import dynamic_scenario
 from repro.experiments.instances import standard_instances
 from repro.experiments.registry import ExperimentResult
 from repro.graphs.asgraph import ASGraph
@@ -76,7 +76,7 @@ def run(
     passed = True
     for family, graph in standard_instances(scale, seed=seed):
         events = _script_for(graph)
-        run_result = run_dynamic_scenario(
+        run_result = dynamic_scenario(
             graph, events, engine=engine, protocol=protocol
         )
         for epoch in run_result.epochs:

@@ -20,7 +20,7 @@ import math
 
 from repro.analysis.report import Table
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism
+from repro.core.protocol import distributed_mechanism
 from repro.experiments.registry import ExperimentResult
 from repro.graphs.generators import FIG1_LABELS, fig1_graph
 from repro.mechanism.vcg import compute_price_table
@@ -36,7 +36,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
 
     routes = all_pairs_lcp(graph)
     table = compute_price_table(graph, routes=routes)
-    distributed = run_distributed_mechanism(graph, mode=UpdateMode.MONOTONE)
+    distributed = distributed_mechanism(graph, mode=UpdateMode.MONOTONE)
 
     def path_name(path):
         return "-".join(names[node] for node in path)

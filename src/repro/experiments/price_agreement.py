@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.report import Table
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.experiments.instances import standard_instances
 from repro.experiments.registry import ExperimentResult
 from repro.mechanism.vcg import compute_price_table
@@ -34,7 +34,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     for family, graph in standard_instances(scale, seed=seed):
         reference = compute_price_table(graph)
         for mode in (UpdateMode.MONOTONE, UpdateMode.RECOMPUTE):
-            result = run_distributed_mechanism(graph, mode=mode)
+            result = distributed_mechanism(graph, mode=mode)
             verification = verify_against_centralized(result, table=reference)
             passed = passed and verification.ok
             out.add_row(
@@ -47,7 +47,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                 verification.prices_checked,
                 len(verification.mismatches),
             )
-        async_result = run_distributed_mechanism(
+        async_result = distributed_mechanism(
             graph, mode=UpdateMode.MONOTONE, asynchronous=True, seed=seed
         )
         async_verification = verify_against_centralized(async_result, table=reference)

@@ -25,8 +25,8 @@ from repro.bgp.delays import ConstantDelay, DelayModel, LogNormalDelay, UniformD
 from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig
 from repro.core.convergence import convergence_bound
 from repro.core.protocol import (
-    run_distributed_mechanism,
-    run_timed_mechanism,
+    distributed_mechanism,
+    timed_mechanism,
     verify_against_centralized,
 )
 from repro.experiments.instances import standard_instances
@@ -71,7 +71,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     passed = True
     for family, graph in standard_instances(scale, seed=seed):
         bound = convergence_bound(graph)
-        sync = run_distributed_mechanism(graph)
+        sync = distributed_mechanism(graph)
         sync_ok = verify_against_centralized(sync).ok
         within = sync.stages <= bound.stages
         passed = passed and within and sync_ok
@@ -84,7 +84,7 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             sync.report.total_rows_sent,
         )
         for label, delay, mrai in SETTINGS:
-            result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+            result = timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
             verification = verify_against_centralized(result)
             report = result.report
             passed = passed and verification.ok and report.converged

@@ -23,7 +23,7 @@ variable / the :func:`observed` context manager, or pass an explicit
     observer.counter_total(obs.names.MESSAGES)   # paper measure 2
 
     with obs.observed():                          # global, default Obs
-        run_distributed_mechanism(graph)
+        distributed_mechanism(graph)
     obs.default().counter_total(obs.names.STAGES)
 
 Traces (``JSONLSink``) are summarized by :func:`repro.obs.trace.summarize_trace`

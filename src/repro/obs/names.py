@@ -67,11 +67,18 @@ PRICE_ROWS = "mechanism.price_rows"
 ROUTE_TREES = "routing.route_trees"
 
 # -- incremental-engine cache accounting -------------------------------
-# hits: trees served from cache; misses: trees (re)computed;
-# invalidations: cached trees dropped by event-scoped invalidation.
+# hits: trees served from cache; misses: trees computed from scratch;
+# invalidations: cached trees an event touched (repaired in place).
 CACHE_HITS = "routing.cache.hits"
 CACHE_MISSES = "routing.cache.misses"
 CACHE_INVALIDATIONS = "routing.cache.invalidations"
+# In-place repair work (dynamic SSSP): labels settled by improve
+# waves / dropped from orphaned cones / re-established by re-anchor
+# waves.  relaxed + reanchored over the average tree size is the
+# "Dijkstra-equivalent" cost of the repair path.
+REPAIR_RELAXED = "routing.repair.relaxed"
+REPAIR_DETACHED = "routing.repair.detached"
+REPAIR_REANCHORED = "routing.repair.reanchored"
 
 # -- span names --------------------------------------------------------
 SPAN_STAGE = "bgp.stage"

@@ -105,10 +105,15 @@ class TraceSummary:
     #: ``bgp.deliveries`` counter total (asynchronous engine).
     deliveries: int = 0
     #: ``routing.cache.*`` totals (incremental engine): trees served
-    #: from cache / (re)computed / dropped by event invalidation.
+    #: from cache / computed from scratch / repaired in place.
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    #: ``routing.repair.*`` totals (incremental engine): labels settled
+    #: by improve waves / dropped from orphaned cones / re-anchored.
+    repair_relaxed: int = 0
+    repair_detached: int = 0
+    repair_reanchored: int = 0
     #: whether the trace recorded any ``routing.cache.*`` counter at
     #: all (an all-miss cold run still reports zeros in the summary).
     cache_seen: bool = False
@@ -202,6 +207,11 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
     summary.cache_invalidations = int(
         summary.counter_total(names.CACHE_INVALIDATIONS)
     )
+    summary.repair_relaxed = int(summary.counter_total(names.REPAIR_RELAXED))
+    summary.repair_detached = int(summary.counter_total(names.REPAIR_DETACHED))
+    summary.repair_reanchored = int(
+        summary.counter_total(names.REPAIR_REANCHORED)
+    )
     summary.cache_seen = any(
         name
         in (names.CACHE_HITS, names.CACHE_MISSES, names.CACHE_INVALIDATIONS)
@@ -268,6 +278,9 @@ def summary_tables(summary: TraceSummary, title: Optional[str] = None) -> List[A
         measures.add_row("route-tree cache hits", summary.cache_hits)
         measures.add_row("route-tree cache misses", summary.cache_misses)
         measures.add_row("route-tree cache invalidations", summary.cache_invalidations)
+        measures.add_row("repair labels relaxed", summary.repair_relaxed)
+        measures.add_row("repair labels detached", summary.repair_detached)
+        measures.add_row("repair labels re-anchored", summary.repair_reanchored)
     if summary.timed_seen:
         measures.add_row("virtual clock at drain (s)", summary.timed_clock)
         measures.add_row("virtual convergence time (s)", summary.timed_convergence_time)

@@ -24,8 +24,7 @@ Key modules:
   parameter of :func:`all_pairs_lcp` and
   :func:`repro.mechanism.vcg.compute_price_table`; the vectorized
   cost-only entry points live in
-  :mod:`repro.routing.engines.vectorized` (``repro.routing.
-  scipy_engine`` is a deprecated shim for them).
+  :mod:`repro.routing.engines.vectorized`.
 """
 
 from repro.routing.allpairs import AllPairsRoutes, all_pairs_lcp

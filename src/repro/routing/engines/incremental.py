@@ -1,43 +1,49 @@
-"""The incremental warm-start engine: epoch-keyed route/price caching.
+"""The incremental engine: dynamic SSSP repair across graph epochs.
 
 The paper's Sect. 6 model restarts convergence on every network event,
 and the E10 dynamics driver mirrors that by recomputing the entire
 centralized reference -- O(n^2) destination-rooted Dijkstras plus the
 per-(destination, k) avoiding sweep -- from scratch after each event.
 A single event, however, typically perturbs a small fraction of the
-route trees.  This engine keeps every tree computed so far cached
-across *graph epochs* and, when handed a mutated graph, recomputes only
-the trees the mutation can affect.
+route trees, and within a perturbed tree only a small cone of labels.
+This engine keeps every tree computed so far cached across *graph
+epochs* and, when handed a mutated graph, repairs the affected trees
+*in place* (Ramalingam-Reps / Narvaez style) instead of discarding and
+re-running Dijkstra:
 
-Invalidation rules (soundness sketches; full argument in DESIGN.md
-paragraph 11):
+* **Improving events** (cost decrease at ``x``, link addition
+  ``(u, v)``) seed a priority queue with the boundary vertices whose
+  tentative key improves -- the neighbors of ``x`` with their
+  through-``x`` candidates, or both orientations of the new link -- and
+  run a Dijkstra wave that settles *only* nodes whose label strictly
+  improves under the canonical ``(cost, hops, path)`` order.  Because
+  that order is a total order on simple paths (path tuples break every
+  tie), the minimum-key label per node is unique and the wave's output
+  is bit-identical to a cold re-run; no tolerance is involved.  The
+  wave also reconnects sources that previously had no label at all
+  (their incumbent is ``+inf``), which is how incomplete avoiding trees
+  heal on link recovery.
+* **Worsening events** (cost increase at ``x``, link removal) detach
+  exactly the orphaned cone -- the parent-forest subtree under ``x``
+  (resp. under the downstream endpoint of a removed tree edge) -- drop
+  its labels, and re-anchor it: seed each detached node with its best
+  candidate through the intact boundary, then wave within the detached
+  set.  Labels outside the cone were optimal before and only competing
+  candidates worsened, so they are provably final.
 
-* ``CostChange(x)`` -- a route tree ``T(j)`` changes only if ``x`` is a
-  transit node on some selected path toward ``j`` (equivalently: ``x``
-  has a child in the tree), or the change is a *decrease* and some
-  source's lower-bound cost through ``x`` -- ``d(i, x) + c_x' +
-  d(x, j)``, read from the cached trees, whose ``d`` terms exclude
-  ``c_x`` and are therefore unchanged -- reaches its incumbent cost.
-  Increases elsewhere only worsen non-selected candidates.  An avoiding
-  tree for ``(j, k)`` is additionally immune when ``k == x``: the graph
-  ``G - k`` it was built in no longer contains ``x``.
-* ``LinkFailure(u, v)`` -- removing candidates can only affect trees
-  whose *tree edges* include ``(u, v)``; every other tree's selected
-  paths survive verbatim and remain minimal over the smaller candidate
-  set.  Avoiding trees with ``k in (u, v)`` never contained the link.
-* ``LinkRecovery(u, v)`` -- adding candidates affects a tree only where
-  the new link could improve (or tie) a label: any simple path through
-  the link decomposes into segments that avoid it, so segment costs are
-  bounded below by the *cached pre-event* distances, giving a sound
-  per-source test ``d(i, a) + c_a + c_b + d(b, j) > Cost(P(c; i, j))``
-  over both orientations of the link.  Ties conservatively invalidate
-  (the canonical tie-break could prefer the new path).
+Every epoch diff decomposes into elementary events applied
+*sequentially* (sorted removals, then sorted cost changes, then sorted
+additions) against evolving intermediate costs/adjacency; each repair
+is exact for its intermediate graph, so arbitrarily many improving
+changes compose per diff -- the full-rebuild fallback PR 5 needed for
+multi-improving diffs is gone.  Repairs build replacement trees on
+scratch state and the caches commit only once the whole diff (including
+the reference engine's disconnection check, reproduced in the same
+destination order for error parity) has succeeded, so a raised error
+leaves every cache at the previous epoch.
 
-Compound diffs compose soundly as long as at most one change is
-*improving* (a cost decrease or a link addition): worsening changes
-only raise the true distances the bounds underestimate.  Any diff with
-two or more improving changes, or a changed node set, falls back to a
-full rebuild.
+Full algorithm write-up, invariants, and fallback conditions:
+DESIGN.md section 14.
 
 The correctness bar is the repo's standard one: bit-identical
 :class:`~repro.routing.allpairs.AllPairsRoutes` and
@@ -48,6 +54,7 @@ randomized event sequences through both).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Set, Tuple
 
@@ -62,7 +69,8 @@ from repro.graphs.asgraph import ASGraph
 from repro.obs import names as metric_names
 from repro.routing.dijkstra import RouteTree, route_tree
 from repro.routing.engines.base import Engine
-from repro.types import EPSILON, Cost, Edge, NodeId
+from repro.routing.tiebreak import RouteKey, route_key
+from repro.types import Cost, Edge, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
     from repro.mechanism.vcg import PriceRow, PriceTable
@@ -70,32 +78,340 @@ if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
 
 PairKey = Tuple[NodeId, NodeId]
 
+#: adjacency snapshot the repair waves walk; values iterated sorted
+Adjacency = Dict[NodeId, Set[NodeId]]
+
 
 @dataclass
 class CacheStats:
     """Lifetime cache accounting for one :class:`IncrementalEngine`.
 
-    ``hits``/``misses`` count *tree reuses* vs *tree (re)computations*
-    (route and avoiding trees alike; a destination whose price rows are
-    served from cache counts one hit per avoiding tree those rows
-    used).  ``invalidations`` counts cached trees dropped by event
-    invalidation, and ``dijkstra_runs`` counts actual
+    ``hits``/``misses`` count *tree reuses* vs *tree (re)computations
+    from scratch* (route and avoiding trees alike; a destination whose
+    price rows are served from cache counts one hit per avoiding tree
+    those rows used).  ``invalidations`` counts cached trees whose
+    labels an event touched -- under PR 5's warm start those trees were
+    dropped and rebuilt cold, now they are repaired in place.
+    ``dijkstra_runs`` counts actual
     :func:`~repro.routing.dijkstra.route_tree` invocations -- the
     currency the dynamics benchmark compares against the reference
     engine's ``n + sum_j |transit(j)|`` per epoch.
+
+    The repair counters meter the in-place work: ``relaxed`` labels
+    settled by improve waves, ``detached`` labels dropped from orphaned
+    cones, ``reanchored`` labels re-established by re-anchor waves.
+    ``relaxed + reanchored`` over the average tree size is the
+    "Dijkstra-equivalent" cost of the repair path.
     """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     dijkstra_runs: int = 0
+    relaxed: int = 0
+    detached: int = 0
+    reanchored: int = 0
 
-    def snapshot(self) -> Tuple[int, int, int, int]:
-        return (self.hits, self.misses, self.invalidations, self.dijkstra_runs)
+    def snapshot(self) -> Tuple[int, int, int, int, int, int, int]:
+        return (
+            self.hits,
+            self.misses,
+            self.invalidations,
+            self.dijkstra_runs,
+            self.relaxed,
+            self.detached,
+            self.reanchored,
+        )
+
+
+def _incumbent_key(tree: RouteTree, node: NodeId) -> Optional[RouteKey]:
+    """*node*'s current label as a route key (``None`` if unlabeled)."""
+    cost = tree._costs.get(node)
+    if cost is None:
+        return None
+    return route_key(cost, tree._paths[node])
+
+
+def _improve_wave(
+    tree: RouteTree,
+    seeds: List[Tuple[NodeId, RouteKey]],
+    adjacency: Adjacency,
+    costs: Dict[NodeId, Cost],
+    masked: Optional[NodeId],
+) -> Tuple[Optional[RouteTree], int]:
+    """Settle every label an improving event makes strictly better.
+
+    *seeds* are ``(node, candidate key)`` boundary pairs; the wave
+    relaxes outward from each seed whose candidate beats the node's
+    incumbent label under the full canonical order, so exactly the
+    improved cone is re-settled and every final label equals the cold
+    recomputation bit for bit (the order is total: no ties exist to
+    resolve differently).  Returns ``(repaired tree, labels settled)``,
+    or ``(None, 0)`` when no seed improves anything.
+    """
+    best: Dict[NodeId, RouteKey] = {}
+    heap: List[Tuple[RouteKey, NodeId]] = []
+    for node, key in seeds:
+        incumbent = _incumbent_key(tree, node)
+        if incumbent is not None and not key < incumbent:
+            continue
+        current = best.get(node)
+        if current is None or key < current:
+            best[node] = key
+            heapq.heappush(heap, (key, node))
+    if not heap:
+        return None, 0
+    parents = dict(tree.parents)
+    paths = dict(tree._paths)
+    label_costs = dict(tree._costs)
+    finalized: Set[NodeId] = set()
+    settled = 0
+    while heap:
+        key, node = heapq.heappop(heap)
+        if node in finalized or key != best.get(node):
+            continue
+        finalized.add(node)
+        settled += 1
+        cost, _hops, path = key
+        parents[node] = path[1]
+        paths[node] = path
+        label_costs[node] = cost
+        hop_cost = costs[node]
+        for neighbor in sorted(adjacency[node]):
+            if neighbor == masked or neighbor in finalized or neighbor in path:
+                continue
+            candidate = route_key(cost + hop_cost, (neighbor,) + path)
+            current = best.get(neighbor)
+            if current is not None:
+                if candidate < current:
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+                continue
+            incumbent = _incumbent_key(tree, neighbor)
+            if incumbent is not None and not candidate < incumbent:
+                continue
+            best[neighbor] = candidate
+            heapq.heappush(heap, (candidate, neighbor))
+    repaired = RouteTree(
+        destination=tree.destination,
+        parents=parents,
+        _paths=paths,
+        _costs=label_costs,
+    )
+    return repaired, settled
+
+
+def _detach_and_reanchor(
+    tree: RouteTree,
+    detach: Set[NodeId],
+    adjacency: Adjacency,
+    costs: Dict[NodeId, Cost],
+    masked: Optional[NodeId],
+) -> Tuple[RouteTree, int]:
+    """Drop the *detach* cone's labels and grow them back exactly.
+
+    Labels outside the cone survive a worsening event unchanged (their
+    paths stay feasible and every competing candidate only worsened),
+    so each detached node is seeded with its best candidate through the
+    intact boundary and the wave relaxes *within the cone only*.  Nodes
+    the boundary cannot reach stay unlabeled -- exactly the cold
+    engine's treatment of unreachable sources.  Returns the repaired
+    tree and the number of labels re-established.
+    """
+    destination = tree.destination
+    parents = dict(tree.parents)
+    paths = dict(tree._paths)
+    label_costs = dict(tree._costs)
+    for node in sorted(detach):
+        del parents[node]
+        del paths[node]
+        del label_costs[node]
+    best: Dict[NodeId, RouteKey] = {}
+    heap: List[Tuple[RouteKey, NodeId]] = []
+    for node in sorted(detach):
+        for neighbor in sorted(adjacency[node]):
+            if neighbor == masked or neighbor in detach:
+                continue
+            if neighbor == destination:
+                nb_cost: Cost = 0.0
+                nb_path = (destination,)
+                hop_cost: Cost = 0.0
+            else:
+                maybe_cost = label_costs.get(neighbor)
+                if maybe_cost is None:
+                    continue
+                nb_cost = maybe_cost
+                nb_path = paths[neighbor]
+                hop_cost = costs[neighbor]
+            if node in nb_path:
+                continue
+            candidate = route_key(nb_cost + hop_cost, (node,) + nb_path)
+            current = best.get(node)
+            if current is None or candidate < current:
+                best[node] = candidate
+                heapq.heappush(heap, (candidate, node))
+    finalized: Set[NodeId] = set()
+    settled = 0
+    while heap:
+        key, node = heapq.heappop(heap)
+        if node in finalized or key != best.get(node):
+            continue
+        finalized.add(node)
+        settled += 1
+        cost, _hops, path = key
+        parents[node] = path[1]
+        paths[node] = path
+        label_costs[node] = cost
+        hop_cost = costs[node]
+        for neighbor in sorted(adjacency[node]):
+            if (
+                neighbor == masked
+                or neighbor not in detach
+                or neighbor in finalized
+                or neighbor in path
+            ):
+                continue
+            candidate = route_key(cost + hop_cost, (neighbor,) + path)
+            current = best.get(neighbor)
+            if current is None or candidate < current:
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    repaired = RouteTree(
+        destination=destination,
+        parents=parents,
+        _paths=paths,
+        _costs=label_costs,
+    )
+    return repaired, settled
+
+
+def _subtree(tree: RouteTree, root: NodeId) -> Set[NodeId]:
+    """*root* plus every node routing through it in the parent forest."""
+    children: Dict[NodeId, List[NodeId]] = {}
+    for child, parent in tree.parents.items():
+        children.setdefault(parent, []).append(child)
+    cone = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in children.get(node, ()):
+            if child not in cone:
+                cone.add(child)
+                stack.append(child)
+    return cone
+
+
+def _repair_removal(
+    tree: RouteTree,
+    u: NodeId,
+    v: NodeId,
+    adjacency: Adjacency,
+    costs: Dict[NodeId, Cost],
+    masked: Optional[NodeId],
+) -> Tuple[Optional[RouteTree], int, int]:
+    """Repair one tree after edge ``(u, v)`` left the graph.
+
+    Only trees actually *using* the edge change: a selected path uses
+    ``(u, v)`` iff it is a tree edge of the parent forest, and then
+    exactly the subtree under its downstream endpoint is orphaned.
+    Returns ``(repaired tree or None, labels detached, labels
+    re-anchored)``.
+    """
+    if tree.parents.get(u) == v:
+        root = u
+    elif tree.parents.get(v) == u:
+        root = v
+    else:
+        return None, 0, 0
+    detach = _subtree(tree, root)
+    repaired, settled = _detach_and_reanchor(tree, detach, adjacency, costs, masked)
+    return repaired, len(detach), settled
+
+
+def _repair_cost_change(
+    tree: RouteTree,
+    x: NodeId,
+    old_cost: Cost,
+    new_cost: Cost,
+    adjacency: Adjacency,
+    costs: Dict[NodeId, Cost],
+    masked: Optional[NodeId],
+) -> Tuple[Optional[RouteTree], int, int]:
+    """Repair one tree after ``c_x`` changed (caller already skipped
+    ``x == destination`` and ``x == masked``; *costs* holds the new
+    value).
+
+    ``x``'s own label never moves (endpoint costs are free and simple
+    paths from ``x`` cannot transit ``x``).  An increase orphans
+    exactly ``x``'s descendants; a decrease seeds every neighbor of
+    ``x`` with its through-``x`` candidate and lets the improve wave
+    cascade -- descendants re-label along their unchanged paths at the
+    lower fold, and newly-through-``x`` nodes are captured by the same
+    wave.  Returns ``(repaired tree or None, detached, settled)``.
+    """
+    if new_cost > old_cost:
+        detach = _subtree(tree, x)
+        detach.discard(x)
+        if not detach:
+            return None, 0, 0
+        repaired, settled = _detach_and_reanchor(
+            tree, detach, adjacency, costs, masked
+        )
+        return repaired, len(detach), settled
+    x_cost = tree._costs.get(x)
+    if x_cost is None:
+        return None, 0, 0  # x unreachable: no path transits it either
+    x_path = tree._paths[x]
+    seeds: List[Tuple[NodeId, RouteKey]] = []
+    for neighbor in sorted(adjacency[x]):
+        if neighbor == masked or neighbor in x_path:
+            continue
+        seeds.append((neighbor, route_key(x_cost + new_cost, (neighbor,) + x_path)))
+    repaired, settled = _improve_wave(tree, seeds, adjacency, costs, masked)
+    return repaired, 0, settled
+
+
+def _repair_addition(
+    tree: RouteTree,
+    u: NodeId,
+    v: NodeId,
+    adjacency: Adjacency,
+    costs: Dict[NodeId, Cost],
+    masked: Optional[NodeId],
+) -> Tuple[Optional[RouteTree], int, int]:
+    """Repair one tree after edge ``(u, v)`` joined the graph.
+
+    Both orientations seed the improve wave: the candidate for ``a``
+    via ``b`` extends ``b``'s (unchanged) label across the new link.
+    Sources with no label -- disconnected in ``G`` or in ``G - k`` --
+    reconnect through the same wave.  Returns ``(repaired tree or
+    None, 0, settled)``.
+    """
+    destination = tree.destination
+    seeds: List[Tuple[NodeId, RouteKey]] = []
+    for a, b in ((u, v), (v, u)):
+        if a == destination:
+            continue
+        if b == destination:
+            b_cost: Cost = 0.0
+            b_path = (destination,)
+            hop_cost: Cost = 0.0
+        else:
+            maybe_cost = tree._costs.get(b)
+            if maybe_cost is None:
+                continue
+            b_cost = maybe_cost
+            b_path = tree._paths[b]
+            hop_cost = costs[b]
+        if a in b_path:
+            continue
+        seeds.append((a, route_key(b_cost + hop_cost, (a,) + b_path)))
+    repaired, settled = _improve_wave(tree, seeds, adjacency, costs, masked)
+    return repaired, 0, settled
 
 
 class IncrementalEngine(Engine):
-    """Path engine with epoch-keyed caching and event-scoped invalidation.
+    """Path engine with epoch-keyed caching and in-place tree repair.
 
     Unlike the other registered engines this one is *stateful*: the
     speedup comes from holding one instance across a sequence of
@@ -171,15 +487,24 @@ class IncrementalEngine(Engine):
         return table
 
     def _emit_cache_counters(
-        self, observer: obs_mod.Obs, before: Tuple[int, int, int, int]
+        self,
+        observer: obs_mod.Obs,
+        before: Tuple[int, int, int, int, int, int, int],
     ) -> None:
-        hits, misses, invalidations, _runs = self.stats.snapshot()
-        observer.count(metric_names.CACHE_HITS, hits - before[0], engine=self.name)
-        observer.count(metric_names.CACHE_MISSES, misses - before[1], engine=self.name)
+        now = self.stats.snapshot()
+        observer.count(metric_names.CACHE_HITS, now[0] - before[0], engine=self.name)
+        observer.count(metric_names.CACHE_MISSES, now[1] - before[1], engine=self.name)
         observer.count(
-            metric_names.CACHE_INVALIDATIONS,
-            invalidations - before[2],
-            engine=self.name,
+            metric_names.CACHE_INVALIDATIONS, now[2] - before[2], engine=self.name
+        )
+        observer.count(
+            metric_names.REPAIR_RELAXED, now[4] - before[4], engine=self.name
+        )
+        observer.count(
+            metric_names.REPAIR_DETACHED, now[5] - before[5], engine=self.name
+        )
+        observer.count(
+            metric_names.REPAIR_REANCHORED, now[6] - before[6], engine=self.name
         )
 
     def _all_pairs(self, graph: ASGraph) -> "AllPairsRoutes":
@@ -219,7 +544,20 @@ class IncrementalEngine(Engine):
     # Epoch synchronization
     # ------------------------------------------------------------------
     def _sync(self, graph: ASGraph) -> None:
-        """Bring the tree caches up to date for *graph*'s epoch."""
+        """Bring the tree caches up to date for *graph*'s epoch.
+
+        The epoch diff (exact cost comparison -- declared costs are raw
+        inputs, not derived arithmetic, the same rationale as
+        ``ASGraph.__eq__``) decomposes into elementary events applied
+        sequentially: sorted removals, then sorted cost changes, then
+        sorted additions.  Each event repairs every affected tree
+        against the *intermediate* costs/adjacency, so each repair is
+        exact for its intermediate graph and the composition is exact
+        for the final one -- improving changes ride the repair path no
+        matter how many share the diff.  All repairs build replacement
+        trees on scratch dicts; the caches commit only after the whole
+        diff and the reference-parity disconnection check succeed.
+        """
         if self._graph is graph:
             return
         if self._graph is None:
@@ -231,12 +569,7 @@ class IncrementalEngine(Engine):
             return
         old_costs = self._costs
         changed = sorted(
-            # Declared costs are raw inputs, not derived arithmetic:
-            # exact comparison is the epoch-diff definition (same
-            # rationale as ASGraph.__eq__).
-            x
-            for x in new_costs
-            if new_costs[x] != old_costs[x]
+            x for x in new_costs if new_costs[x] != old_costs[x]
         )
         new_edges = set(graph.edges)
         removed = sorted(self._edges - new_edges)
@@ -244,75 +577,138 @@ class IncrementalEngine(Engine):
         if not changed and not removed and not added:
             self._graph = graph
             return
-        improving = len(added) + sum(
-            1 for x in changed if new_costs[x] < old_costs[x]
-        )
-        if improving > 1:
-            # The per-change bounds below assume cached distances stay
-            # valid lower bounds; two concurrent improvements can feed
-            # each other, so fall back to a full rebuild.
-            self._rebuild_all(graph)
-            return
 
-        invalid_trees = [
-            j
-            for j in sorted(self._trees)
-            if self._tree_affected(
-                self._trees[j], j, changed, old_costs, new_costs, removed, added
-            )
-        ]
-        invalid_avoiding: List[Tuple[NodeId, NodeId]] = []
-        for j in sorted(self._avoiding):
-            cache_j = self._avoiding[j]
-            for k in sorted(cache_j):
-                if self._avoid_affected(
-                    cache_j[k], j, k, changed, old_costs, new_costs, removed, added
-                ):
-                    invalid_avoiding.append((j, k))
+        costs = dict(old_costs)
+        adjacency: Adjacency = {node: set() for node in old_costs}
+        for u, v in sorted(self._edges):
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        trees = dict(self._trees)
+        avoiding = {j: dict(cache_j) for j, cache_j in self._avoiding.items()}
+        touched_trees: Set[NodeId] = set()
+        touched_avoiding: Set[PairKey] = set()
+        repairs = 0
 
-        self.stats.invalidations += len(invalid_trees) + len(invalid_avoiding)
+        for u, v in removed:
+            adjacency[u].discard(v)
+            adjacency[v].discard(u)
+            for j in sorted(trees):
+                repairs += self._repair_one(
+                    trees, j, None, touched_trees, touched_avoiding,
+                    _repair_removal, u, v, adjacency, costs,
+                )
+            for j in sorted(avoiding):
+                for k in sorted(avoiding[j]):
+                    if k in (u, v):
+                        continue  # G - k never contained this link
+                    repairs += self._repair_one(
+                        avoiding[j], k, (j, k), touched_trees, touched_avoiding,
+                        _repair_removal, u, v, adjacency, costs,
+                    )
+        for x in changed:
+            old_cost = costs[x]
+            new_cost = new_costs[x]
+            costs[x] = new_cost
+            for j in sorted(trees):
+                if x == j:
+                    continue  # root cost is never counted
+                repairs += self._repair_one(
+                    trees, j, None, touched_trees, touched_avoiding,
+                    _repair_cost_change, x, old_cost, new_cost, adjacency, costs,
+                )
+            for j in sorted(avoiding):
+                if x == j:
+                    continue
+                for k in sorted(avoiding[j]):
+                    if x == k:
+                        continue  # node absent from G - k
+                    repairs += self._repair_one(
+                        avoiding[j], k, (j, k), touched_trees, touched_avoiding,
+                        _repair_cost_change, x, old_cost, new_cost, adjacency, costs,
+                    )
+        for u, v in added:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            for j in sorted(trees):
+                repairs += self._repair_one(
+                    trees, j, None, touched_trees, touched_avoiding,
+                    _repair_addition, u, v, adjacency, costs,
+                )
+            for j in sorted(avoiding):
+                for k in sorted(avoiding[j]):
+                    if k in (u, v):
+                        continue
+                    repairs += self._repair_one(
+                        avoiding[j], k, (j, k), touched_trees, touched_avoiding,
+                        _repair_addition, u, v, adjacency, costs,
+                    )
 
-        # Recompute invalidated route trees first: the invalidation
-        # tests are conservative, so many recomputed trees come back
-        # bit-identical.  Those destinations keep their avoiding/row
-        # caches -- an identical tree certifies identical selected
-        # paths, costs, and transit set, hence identical ``c_k`` row
-        # inputs (a changed transit cost would have changed some path
-        # cost); the avoiding trees are invalidation-tracked on their
-        # own.  Any error below leaves every cache at the previous
-        # epoch, so the next sync simply re-runs the same diff.
-        new_trees = dict(self._trees)
+        # Reference error parity: the cold engine raises at the first
+        # destination (in node order) any source cannot reach.
         expected = graph.num_nodes - 1
-        changed_trees: List[NodeId] = []
-        for j in invalid_trees:
-            tree = route_tree(graph, j)
-            self.stats.misses += 1
-            self.stats.dijkstra_runs += 1
-            if len(tree.sources()) != expected:
-                missing = set(graph.nodes) - set(tree.sources()) - {j}
+        for j in graph.nodes:
+            tree = trees[j]
+            if len(tree._paths) != expected:
+                missing = set(graph.nodes) - set(tree._paths) - {j}
                 raise DisconnectedGraphError(
                     f"nodes {sorted(missing)} cannot reach {j}"
                 )
-            if tree != self._trees[j]:
-                changed_trees.append(j)
-            new_trees[j] = tree
-        self.stats.hits += len(self._trees) - len(invalid_trees)
 
-        dirty_rows = set(changed_trees)
-        for j, k in invalid_avoiding:
-            del self._avoiding[j][k]
+        self.stats.invalidations += repairs
+        self.stats.hits += len(trees) - len(touched_trees)
+        dirty_rows = set(touched_trees)
+        for j, k in sorted(touched_avoiding):
             if k in self._row_transit.get(j, ()):
                 dirty_rows.add(j)
         for j in sorted(dirty_rows):
             self._rows.pop(j, None)
             self._row_transit.pop(j, None)
-        self._trees = new_trees
+        self._trees = trees
+        self._avoiding = avoiding
         self._graph = graph
         self._costs = new_costs
         self._edges = new_edges
 
+    def _repair_one(
+        self,
+        store: Dict[NodeId, RouteTree],
+        key: NodeId,
+        avoid_key: Optional[PairKey],
+        touched_trees: Set[NodeId],
+        touched_avoiding: Set[PairKey],
+        repair,
+        *args,
+    ) -> int:
+        """Apply one elementary-event repair to one stored tree.
+
+        For a route tree *store* is the tree dict keyed by destination
+        and *avoid_key* is ``None``; for an avoiding tree *store* is
+        the per-destination cache keyed by the masked node ``k`` and
+        *avoid_key* is ``(j, k)``.  Returns 1 if the tree changed.
+        """
+        masked = avoid_key[1] if avoid_key is not None else None
+        repaired, detached, settled = repair(store[key], *args, masked)
+        if repaired is None:
+            return 0
+        store[key] = repaired
+        if detached:
+            self.stats.detached += detached
+            self.stats.reanchored += settled
+        else:
+            self.stats.relaxed += settled
+        if avoid_key is None:
+            touched_trees.add(key)
+        else:
+            touched_avoiding.add(avoid_key)
+        return 1
+
     def _rebuild_all(self, graph: ASGraph) -> None:
-        """Cold start: recompute every route tree, drop derived caches."""
+        """Cold start: recompute every route tree, drop derived caches.
+
+        Reached only from an empty cache or a changed *node set* (the
+        diff model mutates costs and links, never membership); every
+        cost/link diff, whatever its size, rides the repair path.
+        """
         self.stats.invalidations += len(self._trees) + sum(
             len(cache) for cache in self._avoiding.values()
         )
@@ -333,196 +729,6 @@ class IncrementalEngine(Engine):
         self._graph = graph
         self._costs = graph.costs()
         self._edges = set(graph.edges)
-
-    # ------------------------------------------------------------------
-    # Invalidation tests (all evaluated against the *pre-event* caches)
-    # ------------------------------------------------------------------
-    def _tree_affected(
-        self,
-        tree: RouteTree,
-        j: NodeId,
-        changed: List[NodeId],
-        old_costs: Dict[NodeId, Cost],
-        new_costs: Dict[NodeId, Cost],
-        removed: List[Edge],
-        added: List[Edge],
-    ) -> bool:
-        parents = tree.parents
-        for u, v in removed:
-            if parents.get(u) == v or parents.get(v) == u:
-                return True
-        if changed:
-            transit = set(parents.values())
-            for x in changed:
-                if x == j:
-                    continue
-                if x in transit:
-                    return True
-                if new_costs[x] < old_costs[x] and not self._decrease_safe(
-                    tree, j, x, new_costs[x]
-                ):
-                    return True
-        for u, v in added:
-            if not self._edge_safe(tree, u, v, j, new_costs):
-                return True
-        return False
-
-    def _avoid_affected(
-        self,
-        avoid: RouteTree,
-        j: NodeId,
-        k: NodeId,
-        changed: List[NodeId],
-        old_costs: Dict[NodeId, Cost],
-        new_costs: Dict[NodeId, Cost],
-        removed: List[Edge],
-        added: List[Edge],
-    ) -> bool:
-        parents = avoid.parents
-        for u, v in removed:
-            if k in (u, v):
-                continue  # G - k never contained this link
-            if parents.get(u) == v or parents.get(v) == u:
-                return True
-        if changed:
-            transit = set(parents.values())
-            for x in changed:
-                if x in (j, k):
-                    continue  # endpoint cost / node absent from G - k
-                if x in transit:
-                    return True
-                if new_costs[x] < old_costs[x] and not self._avoid_decrease_safe(
-                    avoid, j, x, new_costs[x]
-                ):
-                    return True
-        for u, v in added:
-            if k in (u, v):
-                continue
-            if not self._avoid_edge_safe(avoid, j, k, u, v, new_costs):
-                return True
-        return False
-
-    def _decrease_safe(
-        self, tree: RouteTree, j: NodeId, x: NodeId, new_cost: Cost
-    ) -> bool:
-        """No source's through-``x`` lower bound reaches its incumbent.
-
-        ``d(i, x)`` and ``d(x, j)`` exclude ``c_x`` (endpoint costs are
-        free), so the cached pre-event trees provide them unchanged.
-        """
-        # Hot loop over every cached tree: read the cost dicts directly
-        # (the predicate is order-independent, so no sorted() needed).
-        x_costs = self._trees[x]._costs
-        offset = new_cost + tree.cost(x) - EPSILON
-        for i, incumbent in tree._costs.items():
-            if i == x:
-                continue  # paths from x never transit x: label unchanged
-            if x_costs[i] + offset <= incumbent:
-                return False
-        return True
-
-    def _avoid_decrease_safe(
-        self, avoid: RouteTree, j: NodeId, x: NodeId, new_cost: Cost
-    ) -> bool:
-        """Decrease bound for ``G - k`` trees.
-
-        The ``x -> j`` segment of a through-``x`` candidate lies in
-        ``G - k`` itself, so the cached avoiding tree gives its cost
-        *exactly* (``x`` is an endpoint, so the decreased ``c_x`` is
-        uncounted; any other same-diff change is worsening, keeping the
-        cached value a lower bound).  Only the ``i -> x`` segment falls
-        back to the full-graph distance.  Reachability in ``G - k`` is
-        cost-independent, so sources absent from the avoiding tree stay
-        absent -- and if ``x`` itself is absent, no k-avoiding path
-        through ``x`` exists at all.
-        """
-        dist_xj = avoid._costs.get(x)
-        if dist_xj is None:
-            return True
-        x_costs = self._trees[x]._costs
-        offset = new_cost + dist_xj - EPSILON
-        for i, incumbent in avoid._costs.items():
-            if i == x:
-                continue
-            if x_costs[i] + offset <= incumbent:
-                return False
-        return True
-
-    def _edge_safe(
-        self,
-        tree: RouteTree,
-        u: NodeId,
-        v: NodeId,
-        j: NodeId,
-        new_costs: Dict[NodeId, Cost],
-    ) -> bool:
-        """No simple path through the new link can reach an incumbent.
-
-        Any simple path using ``(u, v)`` decomposes into link-free
-        segments, so pre-event distances bound the segments below; both
-        orientations of the link are tested.
-        """
-        for a, b in ((u, v), (v, u)):
-            if a == j:
-                continue  # j interior to a simple path toward j: impossible
-            a_costs = self._trees[a]._costs
-            cost_b = 0.0 if b == j else new_costs[b]
-            dist_bj = tree.cost(b) if b != j else 0.0
-            cost_a = new_costs[a]
-            offset = cost_a + cost_b + dist_bj - EPSILON
-            for i, incumbent in tree._costs.items():
-                if b == i:
-                    continue  # the link would re-enter the source
-                if a == i:
-                    if cost_b + dist_bj - EPSILON <= incumbent:
-                        return False
-                    continue
-                if a_costs[i] + offset <= incumbent:
-                    return False
-        return True
-
-    def _avoid_edge_safe(
-        self,
-        avoid: RouteTree,
-        j: NodeId,
-        k: NodeId,
-        u: NodeId,
-        v: NodeId,
-        new_costs: Dict[NodeId, Cost],
-    ) -> bool:
-        """Edge-recovery bound for ``G - k`` trees.
-
-        A new link can also *reconnect* sources that had no k-avoiding
-        path at all, so an incomplete avoiding tree is invalidated
-        outright.  For complete trees the ``b -> j`` segment of any
-        simple path using the link lies in ``G - k`` *without* that
-        link -- exactly the graph the cached avoiding tree describes --
-        so the tree's own distance bounds it (exactly on a pure edge
-        event; from below when worsening changes share the diff).  The
-        ``i -> a`` segment falls back to the full-graph distance.
-        """
-        graph = self._graph
-        assert graph is not None
-        if len(avoid._costs) != graph.num_nodes - 2:
-            return False
-        for a, b in ((u, v), (v, u)):
-            if a == j:
-                continue
-            a_costs = self._trees[a]._costs
-            cost_b = 0.0 if b == j else new_costs[b]
-            dist_bj = avoid._costs[b] if b != j else 0.0
-            cost_a = new_costs[a]
-            offset = cost_a + cost_b + dist_bj - EPSILON
-            for i, incumbent in avoid._costs.items():
-                if b == i:
-                    continue
-                if a == i:
-                    if cost_b + dist_bj - EPSILON <= incumbent:
-                        return False
-                    continue
-                if a_costs[i] + offset <= incumbent:
-                    return False
-        return True
 
     # ------------------------------------------------------------------
     # Price rows

@@ -33,8 +33,9 @@ matrices.
 
 This module is the canonical home of the vectorized entry points
 (:func:`all_pairs_costs`, :func:`avoiding_costs_matrix`,
-:func:`vcg_price_rows`, :func:`vcg_price_matrices`);
-``repro.routing.scipy_engine`` remains as a deprecated import shim.
+:func:`vcg_price_rows`, :func:`vcg_price_matrices`); the old
+``repro.routing.scipy_engine`` shim has been removed (lint rule RPR011
+keeps its import from coming back).
 """
 
 from __future__ import annotations

@@ -1,0 +1,12 @@
+"""Known-bad fixture: RPR011 -- imports of deprecated in-tree shims."""
+
+import repro.routing.scipy_engine
+
+from repro.routing.scipy_engine import all_pairs_costs
+
+from repro.routing.engines.vectorized import vcg_price_rows
+
+
+def uses_shim(graph):
+    costs = all_pairs_costs(graph)
+    return costs, repro.routing.scipy_engine, vcg_price_rows

@@ -14,7 +14,8 @@ class TestSurface:
             assert getattr(api, name) is not None
 
     def test_facade_is_reexport_not_copy(self):
-        from repro.core.protocol import run_distributed_mechanism
+        from repro.core.protocol import distributed_mechanism
+        from repro.core.run import run
         from repro.graphs.asgraph import ASGraph
         from repro.mechanism.vcg import compute_price_table
         from repro.routing.allpairs import all_pairs_lcp
@@ -24,7 +25,8 @@ class TestSurface:
         assert api.all_pairs_lcp is all_pairs_lcp
         assert api.compute_price_table is compute_price_table
         assert api.get_engine is get_engine
-        assert api.run_distributed_mechanism is run_distributed_mechanism
+        assert api.run is run
+        assert api.distributed_mechanism is distributed_mechanism
 
     def test_obs_is_the_obs_package(self):
         import repro.obs
@@ -38,13 +40,13 @@ class TestQuickstart:
     def test_quickstart_flow(self):
         graph = api.fig1_graph()
         table = api.compute_price_table(graph)
-        result = api.run_distributed_mechanism(graph)
+        result = api.run(graph)
         api.verify_against_centralized(result, table).raise_on_mismatch()
 
     def test_quickstart_observation(self):
         graph = api.fig1_graph()
         with api.obs.observed() as observer:
-            api.run_distributed_mechanism(graph)
+            api.run(graph)
         assert observer.counter_total(api.obs.names.MESSAGES) > 0
         assert observer.counter_total(api.obs.names.STAGES) > 0
         api.obs.reset_default()

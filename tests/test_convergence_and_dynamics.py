@@ -5,7 +5,7 @@ import pytest
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
 from repro.bgp.metrics import ConvergenceReport
 from repro.core.convergence import ConvergenceBound, convergence_bound
-from repro.core.dynamics import apply_event_to_graph, run_dynamic_scenario
+from repro.core.dynamics import apply_event_to_graph, dynamic_scenario
 from repro.core.price_node import UpdateMode
 from repro.exceptions import ExperimentError
 from repro.graphs.generators import fig1_graph, integer_costs, random_biconnected_graph
@@ -52,7 +52,7 @@ class TestDynamicScenario:
     def test_fig1_cost_change(self, labels, mode):
         graph = fig1_graph()
         events = [CostChange(labels["D"], 50.0)]
-        run = run_dynamic_scenario(graph, events, mode=mode)
+        run = dynamic_scenario(graph, events, mode=mode)
         assert run.all_ok
         assert run.all_within_bound
         assert len(run.epochs) == 2
@@ -62,7 +62,7 @@ class TestDynamicScenario:
         # removing B-D leaves the 6-cycle X-A-Z-D-Y-B-X: still biconnected
         events = [LinkFailure(labels["B"], labels["D"]),
                   LinkRecovery(labels["B"], labels["D"])]
-        run = run_dynamic_scenario(graph, events)
+        run = dynamic_scenario(graph, events)
         assert run.all_ok
         descriptions = [epoch.description for epoch in run.epochs]
         assert descriptions[0] == "initial convergence"
@@ -76,7 +76,7 @@ class TestDynamicScenario:
         events = [LinkFailure(labels["A"], labels["Z"])]
         # A would be left with degree 1 -> not biconnected
         with pytest.raises(ExperimentError, match="biconnectivity"):
-            run_dynamic_scenario(graph, events)
+            dynamic_scenario(graph, events)
 
     @pytest.mark.parametrize("seed", range(2))
     def test_random_graph_events(self, seed):
@@ -85,12 +85,12 @@ class TestDynamicScenario:
         )
         busiest = max(graph.nodes, key=graph.degree)
         events = [CostChange(busiest, graph.cost(busiest) + 3.0)]
-        run = run_dynamic_scenario(graph, events)
+        run = dynamic_scenario(graph, events)
         assert run.all_ok
         assert run.all_within_bound
 
     def test_epoch_records_cold_stages(self, labels):
         graph = fig1_graph()
-        run = run_dynamic_scenario(graph, [CostChange(labels["D"], 2.0)])
+        run = dynamic_scenario(graph, [CostChange(labels["D"], 2.0)])
         for epoch in run.epochs:
             assert epoch.cold_stages <= epoch.bound.stages

@@ -48,6 +48,7 @@ class TestRunChecks:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR011",
         }
 
     def test_bench_imports_step_passes_on_shipped_tree(self):

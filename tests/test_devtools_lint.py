@@ -42,6 +42,7 @@ class TestFixtureFiles:
             ("bgp/bad_random.py", "RPR004", 5),
             ("bgp/bad_wallclock.py", "RPR005", 3),
             ("routing/bad_graph_copy.py", "RPR006", 3),
+            ("routing/bad_shim_import.py", "RPR011", 2),
         ],
     )
     def test_fixture_fires_rule(self, fixture, code, count):
@@ -231,6 +232,32 @@ class TestRule006GraphCopies:
     def test_suppression_applies(self):
         source = "g = graph.without_node(k)  # repro-lint: ok(RPR006)\n"
         assert lint_source(source, "routing/x.py") == []
+
+
+class TestRule011DeprecatedShims:
+    def test_plain_import(self):
+        source = "import repro.routing.scipy_engine\n"
+        assert codes_in(lint_source(source, "experiments/x.py")) == {"RPR011"}
+
+    def test_from_import(self):
+        source = "from repro.routing.scipy_engine import all_pairs_costs\n"
+        assert codes_in(lint_source(source, "mechanism/x.py")) == {"RPR011"}
+
+    def test_fires_everywhere_in_tree(self):
+        # Unlike the hot-path rules, shim imports are banned tree-wide:
+        # there is no legitimate in-tree caller of a deprecation shim.
+        source = "import repro.routing.scipy_engine\n"
+        assert codes_in(lint_source(source, "graphs/x.py")) == {"RPR011"}
+
+    def test_replacement_module_passes(self):
+        source = "from repro.routing.engines.vectorized import all_pairs_costs\n"
+        assert lint_source(source, "experiments/x.py") == []
+
+    def test_suppression_applies(self):
+        source = (
+            "import repro.routing.scipy_engine  # repro-lint: ok(RPR011)\n"
+        )
+        assert lint_source(source, "experiments/x.py") == []
 
 
 class TestSuppression:

@@ -18,7 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.bgp.table import RouteEntry
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.devtools import sanitize
 from repro.exceptions import SanitizerError
 from repro.graphs.asgraph import ASGraph
@@ -86,7 +86,7 @@ class TestToggle:
     def test_no_checks_run_when_off(self, fig1):
         before = sanitize.checks_run()
         compute_price_table(fig1)
-        result = run_distributed_mechanism(fig1)
+        result = distributed_mechanism(fig1)
         assert verify_against_centralized(result).ok
         assert sanitize.checks_run() == before
 
@@ -105,19 +105,19 @@ class TestCleanRunsPass:
 
     def test_distributed_synchronous(self, fig1):
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
         assert verify_against_centralized(result).ok
 
     def test_distributed_asynchronous(self, square):
         with sanitize.sanitized():
-            result = run_distributed_mechanism(square, asynchronous=True, seed=3)
+            result = distributed_mechanism(square, asynchronous=True, seed=3)
         assert verify_against_centralized(result).ok
 
     def test_dynamics_with_failure_and_restart(self, fig1):
         # warm reconvergence after a link failure must not false-positive
         # on the (disarmed) liveness and monotonicity checks.
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
             engine = result.engine
             u, v = sorted(engine.adjacency)[0], None
             v = sorted(engine.adjacency[u])[0]
@@ -131,7 +131,7 @@ class TestBiconnectivityPrecondition:
     def test_path_graph_rejected(self, line5):
         with sanitize.sanitized():
             with pytest.raises(SanitizerError, match=r"\[sanitize:biconnected\]"):
-                run_distributed_mechanism(line5)
+                distributed_mechanism(line5)
 
     def test_error_names_articulation_points(self, line5):
         with sanitize.sanitized():
@@ -297,7 +297,7 @@ class TestMonotoneCheck:
         # (no matching network event), so the next decide() worsens or
         # loses routes and the per-stage sweep catches it.
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
             engine = result.engine
             node = engine.nodes[sorted(engine.nodes)[0]]
             destination, entry = sorted(node.routes.items())[-1]
@@ -311,7 +311,7 @@ class TestMonotoneCheck:
         # decide() re-select from the (uncorrupted) Adj-RIB-In and
         # self-heal the entry before the sweep sees it.
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
             engine = result.engine
             node = engine.nodes[sorted(engine.nodes)[0]]
             destination, entry = sorted(node.routes.items())[-1]
@@ -328,7 +328,7 @@ class TestMonotoneCheck:
 class TestDistributedResultCheck:
     def test_corrupted_distributed_price_caught(self, fig1):
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
         # poison one converged price row, then re-run the final check
         node_id = sorted(result.engine.nodes)[0]
         node = result.node(node_id)
@@ -346,7 +346,7 @@ class TestDistributedResultCheck:
 
     def test_sample_pairs_limits_scope(self, fig1):
         with sanitize.sanitized():
-            result = run_distributed_mechanism(fig1)
+            result = distributed_mechanism(fig1)
         before = sanitize.checks_run()
         sanitize.check_distributed_prices(
             fig1,

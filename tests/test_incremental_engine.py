@@ -272,12 +272,166 @@ class TestCacheAccounting:
         ) == engine.stats.invalidations
 
 
+_STAT_NAMES = (
+    "hits",
+    "misses",
+    "invalidations",
+    "dijkstras",
+    "relaxed",
+    "detached",
+    "reanchored",
+)
+
+
+def _stat_delta(engine, before):
+    after = engine.stats.snapshot()
+    return {name: after[i] - before[i] for i, name in enumerate(_STAT_NAMES)}
+
+
+def _assert_repaired_epoch(engine, graph):
+    """One warm epoch: repairs only (zero from-scratch Dijkstras at the
+    sync point), then full bit-identity including prices.  Returns the
+    repair-counter delta of the sync.  (price_table afterwards may
+    still lazily build avoiding trees for newly transiting (j, k)
+    pairs; that is population, not invalidation, so the no-Dijkstra
+    claim is measured around the tree sync.)"""
+    before = engine.stats.snapshot()
+    engine.all_pairs(graph)
+    delta = _stat_delta(engine, before)
+    assert delta["dijkstras"] == 0
+    assert_epoch_identical(engine, graph)
+    return delta
+
+
+def _repair_graph():
+    """An 8-cycle with chords: biconnected, chord-rich enough that
+    failing a chord leaves a biconnected graph and repairs are
+    non-trivial (multiple trees route through every chord)."""
+    return ASGraph(
+        nodes=[(i, float((i * 3) % 5)) for i in range(8)],
+        edges=[(i, (i + 1) % 8) for i in range(8)]
+        + [(0, 2), (1, 4), (3, 6), (5, 7)],
+    )
+
+
+class TestRepairPaths:
+    """The dynamic-SSSP repair path: no full Dijkstra once warm.
+
+    Every scenario here previously either rebuilt whole trees (single
+    worsening/improving events) or fell back to a full rebuild
+    (multiple improving changes in one diff).  With in-place repair the
+    `dijkstras` counter must stay flat across every warm epoch while
+    bit-identity to the cold reference still holds.
+    """
+
+    def test_recovery_storm_repairs_without_dijkstra(self):
+        graph = _repair_graph()
+        engine = IncrementalEngine()
+        assert_epoch_identical(engine, graph)
+
+        storm = [(0, 2), (1, 4), (3, 6)]
+        current = graph
+        for u, v in storm:  # fail one chord per epoch
+            current = current.without_edge(u, v)
+            delta = _assert_repaired_epoch(engine, current)
+            assert delta["detached"] > 0 and delta["reanchored"] > 0
+
+        for u, v in storm:  # then recover one per epoch
+            current = current.with_edge(u, v)
+            delta = _assert_repaired_epoch(engine, current)
+            assert delta["relaxed"] > 0  # improve waves, no detach cone
+            assert delta["detached"] == 0
+
+    def test_alternating_improve_worsen_bursts(self):
+        graph = _repair_graph()
+        engine = IncrementalEngine()
+        assert_epoch_identical(engine, graph)
+        current = graph
+        repaired = 0
+        for node in (1, 4, 6):
+            original = current.cost(node)
+            for new_cost in (original + 6.0, original):  # worsen, restore
+                current = current.with_cost(node, new_cost)
+                delta = _assert_repaired_epoch(engine, current)
+                repaired += (
+                    delta["relaxed"] + delta["detached"] + delta["reanchored"]
+                )
+        assert repaired > 0  # the bursts exercised real repair waves
+
+    def test_multi_improving_changes_in_one_epoch(self):
+        # Two decreases in ONE diff: the case that used to trigger the
+        # full-rebuild fallback.  Now both must ride sequential improve
+        # waves with zero from-scratch Dijkstras.
+        graph = _repair_graph().with_cost(2, 9.0).with_cost(5, 8.0)
+        engine = IncrementalEngine()
+        assert_epoch_identical(engine, graph)
+        improved = graph.with_cost(2, 0.5).with_cost(5, 0.0)
+        delta = _assert_repaired_epoch(engine, improved)
+        assert delta["relaxed"] > 0
+        assert delta["invalidations"] > 0  # repairs are counted as touches
+
+    def test_mixed_compound_epoch(self):
+        # Removal + addition + improving and worsening cost changes in a
+        # single diff; elementary events compose sequentially, each
+        # against the intermediate graph, still without any rebuild.
+        graph = _repair_graph()
+        engine = IncrementalEngine()
+        assert_epoch_identical(engine, graph)
+        mutated = (
+            graph.without_edge(1, 4)
+            .with_edge(2, 6)
+            .with_cost(3, 0.0)
+            .with_cost(7, 9.5)
+        )
+        delta = _assert_repaired_epoch(engine, mutated)
+        assert delta["detached"] > 0 and delta["relaxed"] > 0
+
+    def test_repair_counters_emitted_under_observer(self, fig1):
+        engine = IncrementalEngine()
+        obs_mod.reset_default()  # totals must be this test's alone
+        with obs_mod.observed() as observer:
+            engine.price_table(fig1)
+            engine.price_table(fig1.with_cost(0, 99.0))
+            engine.price_table(fig1.with_cost(0, 0.25))
+        for metric, total in (
+            (metric_names.REPAIR_RELAXED, engine.stats.relaxed),
+            (metric_names.REPAIR_DETACHED, engine.stats.detached),
+            (metric_names.REPAIR_REANCHORED, engine.stats.reanchored),
+        ):
+            assert observer.counter_total(metric, engine="incremental") == total
+        assert engine.stats.detached > 0  # the increase orphaned a cone
+        assert engine.stats.relaxed > 0  # the decrease ran improve waves
+
+    @settings(max_examples=20, deadline=None)
+    @given(event_scripts(max_events=8))
+    def test_no_tree_dijkstras_while_node_set_is_stable(self, script):
+        # Property form: whatever the script does (costs, failures,
+        # recoveries -- the node set never changes), route trees are
+        # only ever repaired, never rebuilt: the from-scratch Dijkstra
+        # counter stays flat after the initial build.  (price_table may
+        # still build avoiding trees for *newly transiting* (j, k)
+        # pairs, which is lazy population, not invalidation -- hence
+        # the all_pairs surface here.)
+        graph, events = script
+        engine = IncrementalEngine()
+        _outcome(lambda: engine.all_pairs(graph))
+        baseline = engine.stats.snapshot()
+        failed: list = []
+        for step in events:
+            mutated, failed = _apply_script_step(graph, step, failed)
+            if mutated is None:
+                continue
+            graph = mutated
+            _outcome(lambda: engine.all_pairs(graph))
+        assert engine.stats.dijkstra_runs == baseline[3]
+
+
 class TestDynamicsComposition:
     def test_incremental_engine_with_delta_protocol_matches_reference(self):
         # Composition: the stateful verification engine rides along the
         # delta-transport BGP network and must change nothing observable.
         from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
-        from repro.core.dynamics import run_dynamic_scenario
+        from repro.core.dynamics import dynamic_scenario
         from repro.graphs.generators import fig1_graph
 
         graph = fig1_graph()
@@ -288,11 +442,11 @@ class TestDynamicsComposition:
             LinkRecovery(2, 3),
             CostChange(3, 1.0),
         ]
-        baseline = run_dynamic_scenario(graph, events)
-        combo = run_dynamic_scenario(
+        baseline = dynamic_scenario(graph, events)
+        combo = dynamic_scenario(
             graph, events, engine="incremental", protocol="delta"
         )
-        full = run_dynamic_scenario(
+        full = dynamic_scenario(
             graph, events, engine="incremental", protocol="full"
         )
         for run in (baseline, combo, full):
@@ -309,12 +463,12 @@ class TestDynamicsComposition:
 
     def test_engine_instance_is_reused_across_epochs(self):
         from repro.bgp.events import CostChange
-        from repro.core.dynamics import run_dynamic_scenario
+        from repro.core.dynamics import dynamic_scenario
         from repro.graphs.generators import fig1_graph
 
         graph = fig1_graph()
         engine = get_engine("incremental")
-        run_dynamic_scenario(graph, [CostChange(3, 7.0)], engine=engine)
+        dynamic_scenario(graph, [CostChange(3, 7.0)], engine=engine)
         assert isinstance(engine, IncrementalEngine)
         # Two epochs were verified with ONE engine: the second was warm.
         assert engine.stats.hits > 0

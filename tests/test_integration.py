@@ -7,9 +7,9 @@ import pytest
 from repro.accounting.settlement import run_accounting
 from repro.accounting.tally import PacketTally
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
-from repro.core.dynamics import run_dynamic_scenario
+from repro.core.dynamics import dynamic_scenario
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.graphs.generators import integer_costs, isp_like_graph
 from repro.graphs.io import graph_from_json, graph_to_json
 from repro.mechanism.vcg import compute_price_table, payments
@@ -38,7 +38,7 @@ class TestFullPipeline:
     def test_distributed_prices_drive_accounting(self, isp):
         # run the distributed protocol, use ITS price rows for tallies,
         # and compare revenue with the centralized payments
-        result = run_distributed_mechanism(isp, mode=UpdateMode.MONOTONE)
+        result = distributed_mechanism(isp, mode=UpdateMode.MONOTONE)
         assert verify_against_centralized(result).ok
         traffic = gravity_traffic(isp, seed=1, total=100.0)
 
@@ -82,7 +82,7 @@ class TestFullPipeline:
     def test_dynamic_scenario_end_to_end(self, isp):
         busiest = max(isp.nodes, key=isp.degree)
         events = [CostChange(busiest, isp.cost(busiest) * 2.0)]
-        run = run_dynamic_scenario(isp, events)
+        run = dynamic_scenario(isp, events)
         assert run.all_ok
         assert run.all_within_bound
 

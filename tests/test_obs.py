@@ -11,7 +11,7 @@ import pytest
 
 import repro.obs as obs
 from repro.bgp.engine import SynchronousEngine
-from repro.core.protocol import run_distributed_mechanism
+from repro.core.protocol import distributed_mechanism
 from repro.exceptions import TraceError
 from repro.obs import names
 from repro.obs.trace import (
@@ -139,7 +139,7 @@ class TestZeroOverhead:
 
     def test_disabled_full_mechanism_emits_no_events(self, fig1):
         sink = obs.default().add_sink(obs.MemorySink())
-        run_distributed_mechanism(fig1)
+        distributed_mechanism(fig1)
         assert len(sink) == 0
 
     def test_module_level_helpers_are_noops_while_disabled(self):
@@ -263,7 +263,7 @@ class TestFig1TraceReplay:
         path = tmp_path / "mechanism.jsonl"
         observer = obs.Obs()
         sink = observer.add_sink(obs.JSONLSink(str(path)))
-        result = run_distributed_mechanism(fig1, obs=observer)
+        result = distributed_mechanism(fig1, obs=observer)
         sink.close()
         summary = summarize_trace(str(path))
         assert summary.stages == result.report.stages

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.convergence import convergence_bound
 from repro.core.price_node import UpdateMode
-from repro.core.protocol import run_distributed_mechanism, verify_against_centralized
+from repro.core.protocol import distributed_mechanism, verify_against_centralized
 from repro.graphs.asgraph import ASGraph
 
 
@@ -25,7 +25,7 @@ def protocol_graphs(draw, min_nodes=4, max_nodes=9):
 @settings(max_examples=20, deadline=None)
 @given(protocol_graphs(), st.sampled_from(list(UpdateMode)))
 def test_distributed_equals_centralized(graph, mode):
-    result = run_distributed_mechanism(graph, mode=mode)
+    result = distributed_mechanism(graph, mode=mode)
     verification = verify_against_centralized(result)
     assert verification.ok, verification.mismatches[:3]
 
@@ -34,14 +34,14 @@ def test_distributed_equals_centralized(graph, mode):
 @given(protocol_graphs())
 def test_convergence_respects_theorem_2(graph):
     bound = convergence_bound(graph)
-    result = run_distributed_mechanism(graph)
+    result = distributed_mechanism(graph)
     assert result.stages <= bound.stages
 
 
 @settings(max_examples=12, deadline=None)
 @given(protocol_graphs(max_nodes=7), st.integers(0, 10_000))
 def test_asynchronous_delivery_order_is_immaterial(graph, seed):
-    result = run_distributed_mechanism(graph, asynchronous=True, seed=seed)
+    result = distributed_mechanism(graph, asynchronous=True, seed=seed)
     assert verify_against_centralized(result).ok
 
 
@@ -50,7 +50,7 @@ def test_asynchronous_delivery_order_is_immaterial(graph, seed):
 def test_price_rows_internally_consistent(graph):
     # each node's advertised prices are exactly its price rows, and the
     # rows cover exactly the transit nodes of its selected paths
-    result = run_distributed_mechanism(graph)
+    result = distributed_mechanism(graph)
     for node_id, node in result.engine.nodes.items():
         for destination, entry in node.routes.items():
             row = node.price_rows.get(destination, {})

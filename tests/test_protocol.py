@@ -7,7 +7,7 @@ import pytest
 from repro.core.convergence import convergence_bound
 from repro.core.price_node import PriceComputingNode, UpdateMode
 from repro.core.protocol import (
-    run_distributed_mechanism,
+    distributed_mechanism,
     verify_against_centralized,
 )
 from repro.exceptions import MechanismError
@@ -27,17 +27,17 @@ from repro.mechanism.vcg import compute_price_table
 class TestFig1EndToEnd:
     @pytest.mark.parametrize("mode", list(UpdateMode))
     def test_exact_paper_prices(self, labels, mode):
-        result = run_distributed_mechanism(fig1_graph(), mode=mode)
+        result = distributed_mechanism(fig1_graph(), mode=mode)
         assert result.price(labels["D"], labels["X"], labels["Z"]) == pytest.approx(3.0)
         assert result.price(labels["B"], labels["X"], labels["Z"]) == pytest.approx(4.0)
         assert result.price(labels["D"], labels["Y"], labels["Z"]) == pytest.approx(9.0)
 
     def test_off_path_price_zero(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         assert result.price(labels["A"], labels["X"], labels["Z"]) == 0.0
 
     def test_paths_and_costs_exposed(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         assert result.path(labels["X"], labels["Z"]) == (
             labels["X"], labels["B"], labels["D"], labels["Z"],
         )
@@ -45,11 +45,11 @@ class TestFig1EndToEnd:
 
     def test_converges_within_bound(self):
         graph = fig1_graph()
-        result = run_distributed_mechanism(graph)
+        result = distributed_mechanism(graph)
         assert result.stages <= convergence_bound(graph).stages
 
     def test_unknown_pair_raises(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         with pytest.raises(MechanismError):
             result.path(labels["X"], 99)
 
@@ -71,7 +71,7 @@ class TestAgreementSweep:
         for seed in range(3):
             graph = maker(seed)
             bound = convergence_bound(graph)
-            result = run_distributed_mechanism(graph, mode=mode)
+            result = distributed_mechanism(graph, mode=mode)
             verification = verify_against_centralized(result)
             assert verification.ok, f"{family}/{seed}: {verification.mismatches[:3]}"
             assert result.stages <= bound.stages, f"{family}/{seed}"
@@ -79,12 +79,12 @@ class TestAgreementSweep:
     @pytest.mark.parametrize("family,maker", FAMILY_CASES[:4])
     def test_async_agreement(self, family, maker):
         graph = maker(1)
-        result = run_distributed_mechanism(graph, asynchronous=True, seed=5)
+        result = distributed_mechanism(graph, asynchronous=True, seed=5)
         assert verify_against_centralized(result).ok
 
     def test_modes_agree_with_each_other(self, small_random):
-        monotone = run_distributed_mechanism(small_random, mode=UpdateMode.MONOTONE)
-        recompute = run_distributed_mechanism(small_random, mode=UpdateMode.RECOMPUTE)
+        monotone = distributed_mechanism(small_random, mode=UpdateMode.MONOTONE)
+        recompute = distributed_mechanism(small_random, mode=UpdateMode.RECOMPUTE)
         for (pair, row) in monotone.price_rows().items():
             other = recompute.price_rows()[pair]
             assert set(row) == set(other)
@@ -94,14 +94,14 @@ class TestAgreementSweep:
 
 class TestVerificationReport:
     def test_counts(self, triangle):
-        result = run_distributed_mechanism(triangle)
+        result = distributed_mechanism(triangle)
         report = verify_against_centralized(result)
         assert report.pairs_checked == 6
         assert report.ok
         report.raise_on_mismatch()  # no-op when clean
 
     def test_raise_on_mismatch(self, triangle):
-        result = run_distributed_mechanism(triangle)
+        result = distributed_mechanism(triangle)
         report = verify_against_centralized(result)
         # forge a mismatch
         from repro.core.protocol import Mismatch
@@ -115,34 +115,34 @@ class TestVerificationReport:
 
 class TestPriceNodeInternals:
     def test_price_rows_cover_exactly_transit(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         node_x = result.node(labels["X"])
         row = node_x.price_rows[labels["Z"]]
         assert set(row) == {labels["B"], labels["D"]}
 
     def test_prices_converged_flag(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         for node_id in fig1_graph().nodes:
             assert result.node(node_id).prices_converged()
 
     def test_price_query_defaults_to_zero(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         assert result.node(labels["X"]).price(labels["A"], labels["Z"]) == 0.0
 
     def test_reset_prices_sets_infinity(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         node = result.node(labels["X"])
         node.reset_prices()
         assert node.price_rows[labels["Z"]][labels["D"]] == math.inf
 
     def test_restart_clears_rows(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         node = result.node(labels["X"])
         node.restart()
         assert node.price_rows == {}
 
     def test_advertised_prices_match_rows(self, labels):
-        result = run_distributed_mechanism(fig1_graph())
+        result = distributed_mechanism(fig1_graph())
         node = result.node(labels["X"])
         for advert in node.advertisements():
             if advert.destination == labels["Z"]:
@@ -159,7 +159,7 @@ class TestZeroCostGraphs:
         graph = random_biconnected_graph(
             9, 0.3, seed=2, cost_sampler=lambda rng: 0.0
         )
-        result = run_distributed_mechanism(graph, mode=mode)
+        result = distributed_mechanism(graph, mode=mode)
         assert verify_against_centralized(result).ok
 
     @pytest.mark.parametrize("mode", list(UpdateMode))
@@ -167,5 +167,5 @@ class TestZeroCostGraphs:
         graph = random_biconnected_graph(
             10, 0.25, seed=4, cost_sampler=integer_costs(0, 1)
         )
-        result = run_distributed_mechanism(graph, mode=mode)
+        result = distributed_mechanism(graph, mode=mode)
         assert verify_against_centralized(result).ok

@@ -30,9 +30,9 @@ from repro.bgp.delays import ConstantDelay, LogNormalDelay, UniformDelay, parse_
 from repro.bgp.engine import AsynchronousEngine
 from repro.bgp.events import CostChange, LinkFailure, LinkRecovery
 from repro.bgp.timed import MRAI_PEER, MRAI_PREFIX, MRAIConfig, TimedEngine
-from repro.core.dynamics import run_timed_scenario
+from repro.core.dynamics import timed_scenario
 from repro.core.price_node import PriceComputingNode, UpdateMode
-from repro.core.protocol import run_timed_mechanism, verify_against_centralized
+from repro.core.protocol import timed_mechanism, verify_against_centralized
 from repro.exceptions import ProtocolError
 from repro.graphs.asgraph import ASGraph
 from repro.graphs.generators import fig1_graph, integer_costs, isp_like_graph
@@ -230,7 +230,7 @@ class TestAsyncBitIdentity:
         assert report.clock == 0.0
         assert report.convergence_time == 0.0
         assert verify_against_centralized(
-            run_timed_mechanism(graph, seed=0, delay=ConstantDelay(0.0))
+            timed_mechanism(graph, seed=0, delay=ConstantDelay(0.0))
         ).ok
 
 
@@ -243,7 +243,7 @@ class TestCentralizedParity:
     def test_parity_fixed_graphs(self, timing, seed):
         delay, mrai = TIMINGS[timing]
         graph = isp_like_graph(12, seed=seed, cost_sampler=integer_costs(1, 6))
-        result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+        result = timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
         assert result.report.converged
         verify_against_centralized(result).raise_on_mismatch()
 
@@ -256,7 +256,7 @@ class TestCentralizedParity:
     )
     def test_parity_random(self, graph, seed, timing):
         delay, mrai = TIMINGS[timing]
-        result = run_timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
+        result = timed_mechanism(graph, seed=seed, delay=delay, mrai=mrai)
         assert result.report.converged
         verify_against_centralized(result).raise_on_mismatch()
 
@@ -331,7 +331,7 @@ class TestFaultSequences:
         u, v = chords[0]
         # t=0.2 lands inside the initial flood: in-flight messages on
         # the failed link must be dropped, not delivered
-        run = run_timed_scenario(
+        run = timed_scenario(
             graph,
             [
                 (0.2, LinkFailure(u, v)),
@@ -393,7 +393,7 @@ class TestFaultSequences:
                 edge = failed.pop(index)
                 chords.append(edge)
                 events.append((when, LinkRecovery(*edge)))
-        run = run_timed_scenario(graph, events, seed=seed, delay=delay, mrai=mrai)
+        run = timed_scenario(graph, events, seed=seed, delay=delay, mrai=mrai)
         assert run.report.converged
         run.verification.raise_on_mismatch()
         report = run.report
@@ -430,7 +430,7 @@ class TestMRAIAccounting:
         deliveries = {}
         for label in ("uniform", "peer-mrai"):
             delay, mrai = TIMINGS[label]
-            result = run_timed_mechanism(graph, seed=0, delay=delay, mrai=mrai)
+            result = timed_mechanism(graph, seed=0, delay=delay, mrai=mrai)
             assert verify_against_centralized(result).ok
             deliveries[label] = result.report.deliveries
         assert deliveries["peer-mrai"] < deliveries["uniform"]
@@ -442,7 +442,7 @@ class TestMRAIAccounting:
             ((i + 1) % n, i) for i in range(n)
         }
         chord = sorted((u, v) for u, v in graph.edges if (u, v) not in ring)[0]
-        run = run_timed_scenario(
+        run = timed_scenario(
             graph,
             [(0.3, LinkFailure(*chord))],
             seed=4,
