@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze test test-deprecations bench bench-protocol bench-dynamics bench-analyzer bench-timed sanitize-test test-engines test-timed trace-smoke
+.PHONY: check lint analyze test test-deprecations bench bench-protocol bench-dynamics bench-analyzer bench-flat bench-timed sanitize-test test-engines test-timed trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -78,6 +78,14 @@ bench-dynamics:
 # unless every configuration converges to the centralized model
 bench-timed:
 	$(PYTHON) benchmarks/bench_timed_protocol.py --quick --out BENCH_timed.json
+
+# flat-sweep benchmark: the batched k-avoiding price core; writes
+# BENCH_flat.json at the repo root and exits non-zero unless the flat
+# engine matches the reference/legacy tables, beats the legacy
+# vectorized sweep by >= 5x at n = 500, and prices the n = 1000
+# ISP-like preset within its demand-derived memory bound
+bench-flat:
+	$(PYTHON) benchmarks/bench_flat_sweep.py --out BENCH_flat.json
 
 # analyzer wall-clock benchmark: full-tree analysis must stay under
 # ~5 s so the contract gate remains a per-commit check; writes

@@ -1,0 +1,289 @@
+"""Flat-sweep benchmark: the batched k-avoiding price core (BENCH_flat.json).
+
+The ``flat`` engine is the scaling backend for the Theorem 1 price
+sweep: one-shot CSR build, O(deg(k)) in-place masking for ``G - k``,
+demand-restricted and symmetry-oriented Dijkstra batches, vectorized
+price evaluation.  This benchmark pins the three claims that justify
+its existence, and fails (non-zero exit) if any regresses:
+
+1. **Identity.**  At n <= 200 the flat table must match the reference
+   engine (n = 128) and the legacy vectorized sweep (n = 200):
+   identical ``(pair, transit)`` key sets, every price within
+   ``costs_close``.
+
+2. **Speed.**  At n = 500 the flat sweep must price the table at least
+   ``SPEEDUP_FLOOR`` (5x) faster than the legacy vectorized
+   ``vcg_price_rows`` path, with the canonical routes precomputed and
+   shared so only the avoiding sweeps are compared.
+
+3. **Memory.**  At n = 1000 (ISP-like scaling preset) the sweep must
+   complete with a tracemalloc peak under a bound derived from its own
+   demand accounting -- a few live distance blocks plus O(entries)
+   assembly -- far below both the O(n^3) dense-cache predecessor and
+   one retained matrix per transit node.  Wall-clock is recorded.
+
+Output goes to ``BENCH_flat.json`` (``make bench-flat`` writes it at
+the repo root).  Run directly::
+
+    python benchmarks/bench_flat_sweep.py --quick --out BENCH_flat.json
+
+(``--quick`` skips the n = 1000 memory phase and shrinks the speedup
+instance; the CI gate runs the full configuration.)  Under pytest
+(``make bench``) a small configuration doubles as a regression
+assertion on identity and on the demand-restriction accounting.
+
+This module must stay importable with the baseline toolchain only (in
+particular: no module-level scipy) -- ``repro.devtools.check`` enforces
+that for the whole benchmarks/ directory; the engine imports below pull
+scipy in lazily at call time instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+from repro.graphs.generators import integer_costs, isp_like_graph, scaling_graph
+from repro.types import costs_close
+
+#: The acceptance bar: flat sweep vs legacy vectorized sweep at n = 500.
+SPEEDUP_FLOOR = 5.0
+
+IDENTITY_REFERENCE_N = 128
+IDENTITY_LEGACY_N = 200
+SPEEDUP_N = 500
+SPEEDUP_QUICK_N = 200
+MEMORY_PRESET = "isp-like-1000"
+
+
+def _tables_agree(expected, actual) -> List[str]:
+    """Differences between two ``(pair) -> {k: price}`` mappings."""
+    problems: List[str] = []
+    if set(expected) != set(actual):
+        problems.append(
+            f"pair sets differ: {len(expected)} expected vs {len(actual)} actual"
+        )
+        return problems
+    for pair in expected:
+        if set(expected[pair]) != set(actual[pair]):
+            problems.append(f"transit keys differ at {pair}")
+            continue
+        for k, price in expected[pair].items():
+            if not costs_close(price, actual[pair][k]):
+                problems.append(
+                    f"price p^{k}_{pair}: {price} vs {actual[pair][k]}"
+                )
+    return problems
+
+
+def run_identity_phase() -> Dict[str, Any]:
+    from repro.routing.allpairs import all_pairs_lcp
+    from repro.routing.engines import get_engine
+    from repro.routing.engines.flat import flat_price_rows
+    from repro.routing.engines.vectorized import vcg_price_rows
+
+    problems: List[str] = []
+
+    reference_graph = isp_like_graph(
+        IDENTITY_REFERENCE_N, seed=1, cost_sampler=integer_costs(1, 6)
+    )
+    reference_table = get_engine("reference").price_table(reference_graph)
+    flat_table = get_engine("flat").price_table(
+        reference_graph, routes=reference_table.routes
+    )
+    problems += [
+        f"reference n={IDENTITY_REFERENCE_N}: {p}"
+        for p in _tables_agree(reference_table.rows, flat_table.rows)
+    ]
+
+    legacy_graph = isp_like_graph(
+        IDENTITY_LEGACY_N, seed=2, cost_sampler=integer_costs(1, 6)
+    )
+    routes = all_pairs_lcp(legacy_graph)
+    legacy_rows = vcg_price_rows(legacy_graph, routes)
+    flat_rows = flat_price_rows(legacy_graph, routes)
+    problems += [
+        f"legacy n={IDENTITY_LEGACY_N}: {p}"
+        for p in _tables_agree(legacy_rows, flat_rows)
+    ]
+
+    return {
+        "reference_n": IDENTITY_REFERENCE_N,
+        "legacy_n": IDENTITY_LEGACY_N,
+        "pairs_compared": len(reference_table.rows) + len(legacy_rows),
+        "identical_keys": not problems,
+        "problems": problems,
+    }
+
+
+def run_speedup_phase(n: int) -> Dict[str, Any]:
+    from repro.routing.allpairs import all_pairs_lcp
+    from repro.routing.engines.flat import FlatSweepStats, flat_price_rows
+    from repro.routing.engines.vectorized import vcg_price_rows
+
+    graph = isp_like_graph(n, seed=0, cost_sampler=integer_costs(1, 6))
+    # Shared, precomputed routes: path selection is identical work for
+    # both backends, so only the avoiding sweeps are timed.
+    routes_start = time.perf_counter()
+    routes = all_pairs_lcp(graph)
+    routes_seconds = time.perf_counter() - routes_start
+
+    legacy_start = time.perf_counter()
+    legacy_rows = vcg_price_rows(graph, routes)
+    legacy_seconds = time.perf_counter() - legacy_start
+
+    stats = FlatSweepStats()
+    flat_start = time.perf_counter()
+    flat_rows = flat_price_rows(graph, routes, stats=stats)
+    flat_seconds = time.perf_counter() - flat_start
+
+    problems = _tables_agree(legacy_rows, flat_rows)
+    speedup = legacy_seconds / flat_seconds if flat_seconds > 0 else float("inf")
+    return {
+        "n": n,
+        "edges": graph.num_edges,
+        "routes_seconds": round(routes_seconds, 4),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "flat_seconds": round(flat_seconds, 4),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "sweep_stats": stats.__dict__.copy(),
+        "problems": problems,
+    }
+
+
+def run_memory_phase() -> Dict[str, Any]:
+    from repro.routing.allpairs import all_pairs_lcp
+    from repro.routing.engines.flat import FlatSweepStats, flat_price_rows
+
+    graph = scaling_graph(MEMORY_PRESET)
+    n = graph.num_nodes
+    routes_start = time.perf_counter()
+    routes = all_pairs_lcp(graph)
+    routes_seconds = time.perf_counter() - routes_start
+
+    stats = FlatSweepStats()
+    tracemalloc.start()
+    sweep_start = time.perf_counter()
+    rows = flat_price_rows(graph, routes, stats=stats)
+    sweep_seconds = time.perf_counter() - sweep_start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # The bound is the sweep's own accounting, not a magic constant: a
+    # few live distance blocks (max_block_rows * n doubles), the flat
+    # demand/price arrays, and the per-entry Python result assembly
+    # (dict-of-dicts, ~400 bytes/entry of interpreter overhead).
+    block_bytes = 8 * n * stats.max_block_rows
+    demand_bound = 64_000_000 + 4 * block_bytes + 400 * stats.entries
+    # What the alternatives would have held alive at minimum:
+    dense_cache_bytes = stats.solves * 8 * n * n  # one matrix per k
+    cubic_bytes = 8 * n * n * n  # the O(n^3) strawman
+    return {
+        "preset": MEMORY_PRESET,
+        "n": n,
+        "edges": graph.num_edges,
+        "pairs_priced": len(rows),
+        "routes_seconds": round(routes_seconds, 4),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "sweep_stats": stats.__dict__.copy(),
+        "tracemalloc_peak_bytes": peak,
+        "demand_bound_bytes": demand_bound,
+        "dense_cache_bytes": dense_cache_bytes,
+        "cubic_bytes": cubic_bytes,
+        "within_bound": peak < demand_bound,
+        "note": "sweep timed under tracemalloc; wall-clock without it is lower",
+    }
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    phases: Dict[str, Any] = {"identity": run_identity_phase()}
+    phases["speedup"] = run_speedup_phase(SPEEDUP_QUICK_N if quick else SPEEDUP_N)
+    if not quick:
+        phases["memory"] = run_memory_phase()
+
+    failures: List[str] = []
+    if not phases["identity"]["identical_keys"]:
+        failures.append("identity: flat table disagrees")
+    if phases["speedup"]["problems"]:
+        failures.append("speedup: flat table disagrees with legacy sweep")
+    # the 5x bar is calibrated at n = 500; quick runs record but don't gate
+    if not quick and phases["speedup"]["speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup {phases['speedup']['speedup']}x below the "
+            f"{SPEEDUP_FLOOR}x floor at n={phases['speedup']['n']}"
+        )
+    if not quick and not phases["memory"]["within_bound"]:
+        failures.append(
+            f"memory: peak {phases['memory']['tracemalloc_peak_bytes']} "
+            f"over bound {phases['memory']['demand_bound_bytes']}"
+        )
+    return {
+        "benchmark": "flat_sweep",
+        "quick": quick,
+        "phases": phases,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller speedup instance, skip the n=1000 memory phase",
+    )
+    parser.add_argument("--out", default="BENCH_flat.json", help="output path")
+    args = parser.parse_args(argv)
+
+    document = run_suite(quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+
+    speed = document["phases"]["speedup"]
+    print(
+        f"flat sweep n={speed['n']}: legacy {speed['legacy_seconds']}s, "
+        f"flat {speed['flat_seconds']}s ({speed['speedup']}x)"
+    )
+    if "memory" in document["phases"]:
+        memory = document["phases"]["memory"]
+        print(
+            f"n={memory['n']}: sweep {memory['sweep_seconds']}s under "
+            f"tracemalloc, peak {memory['tracemalloc_peak_bytes'] / 1e6:.0f} MB "
+            f"(bound {memory['demand_bound_bytes'] / 1e6:.0f} MB, dense cache "
+            f"would hold {memory['dense_cache_bytes'] / 1e9:.1f} GB)"
+        )
+    for failure in document["failures"]:
+        print(f"FAIL: {failure}")
+    print("PASS" if document["passed"] else "FAIL", f"-> {args.out}")
+    return 0 if document["passed"] else 1
+
+
+# ----------------------------------------------------------------------
+# pytest integration: a small configuration as a tracked benchmark.
+# ----------------------------------------------------------------------
+def test_bench_flat_sweep(benchmark):
+    from repro.routing.allpairs import all_pairs_lcp
+    from repro.routing.engines.flat import FlatSweepStats, flat_price_rows
+    from repro.routing.engines.vectorized import vcg_price_rows
+
+    graph = isp_like_graph(96, seed=0, cost_sampler=integer_costs(1, 6))
+    routes = all_pairs_lcp(graph)
+
+    flat_rows = benchmark(lambda: flat_price_rows(graph, routes))
+
+    assert not _tables_agree(vcg_price_rows(graph, routes), flat_rows)
+    stats = FlatSweepStats()
+    flat_price_rows(graph, routes, stats=stats)
+    # demand restriction + symmetric orientation must actually engage
+    assert stats.rows < stats.solves * graph.num_nodes
+    assert stats.max_block_rows < graph.num_nodes
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

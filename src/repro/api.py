@@ -11,8 +11,8 @@ not.  One symbol per concept:
 * :func:`compute_price_table` -- the centralized Theorem 1 VCG prices
   (same keyword-only knobs, same order, same defaults).
 * :func:`get_engine` -- instantiate a computation backend from the
-  engine registry by name (``reference`` | ``scipy`` | ``parallel`` |
-  ``incremental``).
+  engine registry by name (``reference`` | ``scipy`` | ``flat`` |
+  ``parallel`` | ``incremental``).
 * :func:`run` -- **the** distributed entry point: every substrate and
   scenario shape behind one call.  ``protocol=`` picks the staged
   engine (``"delta"`` incremental transport, ``"full"`` literal

@@ -334,3 +334,36 @@ FAMILIES: Dict[str, Callable[..., ASGraph]] = {
     "barabasi-albert": barabasi_albert_graph,
     "isp-like": isp_like_graph,
 }
+
+#: Node counts of the shared large-instance presets.
+SCALING_SIZES: Tuple[int, ...] = (1000, 2000, 5000)
+
+#: Seeded large-instance presets shared by the flat-sweep scaling
+#: benchmark and the upcoming internet-scale policy-topology work, so
+#: both measure the same graphs instead of growing private generator
+#: paths.  ISP-like presets model the low-diameter multihomed regime of
+#: Sect. 6.2; preferential-attachment presets model the AS graph's
+#: power-law degrees.  Costs are continuous (uniform) on purpose:
+#: integer costs make canonical tie-breaking the dominant work at these
+#: sizes, which would measure tie handling rather than the price sweep.
+SCALING_PRESETS: Dict[str, Tuple[str, int, int]] = {
+    f"{family}-{n}": (family, n, n)
+    for family in ("isp-like", "barabasi-albert")
+    for n in SCALING_SIZES
+}
+
+
+def scaling_graph(preset: str) -> ASGraph:
+    """Build one of the named large-instance presets (seeded).
+
+    *preset* is a :data:`SCALING_PRESETS` key such as ``"isp-like-1000"``
+    or ``"barabasi-albert-5000"``; the node count doubles as the seed so
+    every preset is a distinct, reproducible draw.
+    """
+    try:
+        family, n, seed = SCALING_PRESETS[preset]
+    except KeyError:
+        known = ", ".join(sorted(SCALING_PRESETS))
+        raise GraphError(f"unknown scaling preset {preset!r}; known: {known}") from None
+    generator = FAMILIES[family]
+    return generator(n, seed=seed, cost_sampler=uniform_costs(1.0, 6.0))

@@ -27,6 +27,9 @@ Engine-level metrics (the ROADMAP's production-scaling story):
 parallel engine's sharding (shard-size balance is the worker-utilization
 proxy: round-robin shards of near-equal size keep every worker busy),
 and ``mechanism.price_rows`` counts price-row throughput per engine.
+The flat engine's demand-restricted sweep is accounted by
+``routing.flat.{solves,rows,masked}`` (masked Dijkstra calls, distance
+rows computed, stored CSR entries masked in place).
 
 Span names (``obs.span``) cover the end-to-end pipeline:
 ``bgp.stage``, ``bgp.sync.run``, ``bgp.async.run``, ``bgp.timed.run``,
@@ -65,6 +68,15 @@ ENGINE_SHARDS = "engine.shards"
 ENGINE_SHARD_SIZE = "engine.shard.size"
 PRICE_ROWS = "mechanism.price_rows"
 ROUTE_TREES = "routing.route_trees"
+
+# -- flat-engine sweep accounting --------------------------------------
+# solves: masked Dijkstra calls (one per distinct transit node k);
+# rows: distance rows computed across them -- the demand-restriction
+# win is rows << solves * n; masked: stored CSR entries masked in
+# place (sum of deg(k) over solves) instead of rebuilt.
+FLAT_SOLVES = "routing.flat.solves"
+FLAT_ROWS = "routing.flat.rows"
+FLAT_MASKED = "routing.flat.masked"
 
 # -- incremental-engine cache accounting -------------------------------
 # hits: trees served from cache; misses: trees computed from scratch;

@@ -9,6 +9,7 @@ name        backend                                     carries paths
 =========== =========================================== ==============
 reference   serial pure Python (semantics-defining)     yes
 scipy       vectorized ``scipy.sparse.csgraph``         no (cost-only)
+flat        flat-CSR demand-restricted price sweep      no (cost-only)
 parallel    multiprocessing shards of destinations      yes
 incremental epoch-cached warm-start (stateful)          yes
 =========== =========================================== ==============
@@ -29,6 +30,7 @@ from typing import Any, Callable, Dict, List, Tuple, Type, Union, cast
 
 from repro.exceptions import EngineError
 from repro.routing.engines.base import CostMatrix, Engine
+from repro.routing.engines.flat import FlatEngine, FlatSweepStats, flat_price_rows
 from repro.routing.engines.incremental import CacheStats, IncrementalEngine
 from repro.routing.engines.parallel import (
     ParallelEngine,
@@ -44,12 +46,15 @@ __all__ = [
     "CostMatrix",
     "Engine",
     "EngineSpec",
+    "FlatEngine",
+    "FlatSweepStats",
     "IncrementalEngine",
     "ParallelEngine",
     "ReferenceEngine",
     "ScipyEngine",
     "all_pairs_sharded",
     "engine_names",
+    "flat_price_rows",
     "get_engine",
     "price_table_sharded",
     "register",
@@ -111,5 +116,6 @@ def resolve_engine(engine: EngineSpec) -> Engine:
 
 register(ReferenceEngine)
 register(ScipyEngine)
+register(FlatEngine)
 register(ParallelEngine)
 register(IncrementalEngine)

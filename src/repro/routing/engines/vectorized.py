@@ -160,13 +160,30 @@ def vcg_price_rows(
     ``(source, destination) -> {k: price}`` mapping that
     :func:`repro.mechanism.vcg.compute_price_table` stores (direct-link
     pairs omitted).
+
+    The sweep runs **k-major**: the canonical routes are first inverted
+    into the demanded entries per transit node, then each distinct
+    ``k``'s dense detour matrix is computed *once*, consumed, and
+    dropped.  Earlier revisions cached every matrix for the lifetime of
+    the call -- 8 n^2 bytes each times hundreds of distinct transit
+    nodes, O(n^3) memory, ~8 GB at n = 1000 -- whereas at most one
+    detour matrix is alive here.  Violations are checked per entry and
+    the earliest one *in the reference sweep's iteration order*
+    (destination ascending, source ascending, transit position along
+    the path) is raised with the reference's exact message, so error
+    semantics are unchanged even though the computation order is not.
     """
     from repro.routing.allpairs import all_pairs_lcp
 
     routes = routes if routes is not None else all_pairs_lcp(graph)
-    base, index = all_pairs_costs(graph)
-    avoiding: Dict[NodeId, np.ndarray] = {}
-    rows: Dict[Tuple[NodeId, NodeId], Dict[NodeId, Cost]] = {}
+    index = graph.index_of()
+    # Reference-order scan: stamp every demanded (i, j, k) entry with a
+    # global sequence number and bucket it under its transit node.  The
+    # LCP cost term comes from the routes (``tree.cost``), exactly as
+    # the reference sweep reads it.
+    pairs: List[Tuple[NodeId, NodeId, Tuple[NodeId, ...]]] = []
+    demand: Dict[NodeId, List[Tuple[int, int, int, Cost]]] = {}
+    sequence = 0
     for destination in graph.nodes:
         tree = routes.tree(destination)
         dj = index[destination]
@@ -175,50 +192,109 @@ def vcg_price_rows(
             if len(path) == 2:
                 continue  # direct link: no transit nodes, no prices
             si = index[source]
-            lcp_cost = base[si, dj]
-            row: Dict[NodeId, Cost] = {}
-            for k in path[1:-1]:
-                detours = avoiding.get(k)
-                if detours is None:
-                    detours, _ = avoiding_costs_matrix(graph, k)
-                    avoiding[k] = detours
-                detour_cost = detours[si, dj]
-                if not np.isfinite(detour_cost):
-                    raise NotBiconnectedError(
-                        message=(
-                            f"price p^{k}_{{{source},{destination}}} undefined: "
-                            f"no {k}-avoiding path (graph not biconnected)"
-                        )
-                    )
-                price = float(graph.cost(k) + detour_cost - lcp_cost)
-                if price < -1e-9:
-                    raise MechanismError(
-                        f"negative VCG price {price} for k={k}, pair "
-                        f"({source}, {destination}); avoiding cost below LCP cost"
-                    )
-                row[k] = price
-            rows[(source, destination)] = row
+            lcp_cost = tree.cost(source)
+            transit = path[1:-1]
+            pairs.append((source, destination, transit))
+            for k in transit:
+                demand.setdefault(k, []).append((sequence, si, dj, lcp_cost))
+                sequence += 1
+
+    prices = np.empty(sequence, dtype=np.float64)
+    #: (sequence, kind, k, source, destination, price); kind 0 =
+    #: infinite detour, 1 = negative price.  The minimum sequence is
+    #: the witness the reference sweep raises first.
+    first_violation: Optional[Tuple[int, int, NodeId, NodeId, NodeId, float]] = None
+    node_ids = graph.nodes
+    for k in sorted(demand):
+        detours, _ = avoiding_costs_matrix(graph, k)
+        entries = np.asarray([e[:3] for e in demand[k]], dtype=np.int64)
+        lcp = np.asarray([e[3] for e in demand[k]], dtype=np.float64)
+        seq, si, dj = entries[:, 0], entries[:, 1], entries[:, 2]
+        detour = detours[si, dj]
+        entry_prices = graph.cost(k) + detour - lcp
+        prices[seq] = entry_prices
+        infinite = ~np.isfinite(detour)
+        negative = ~infinite & (entry_prices < -1e-9)
+        if infinite.any() or negative.any():
+            bad = np.flatnonzero(infinite | negative)
+            at = bad[np.argmin(seq[bad])]
+            candidate = (
+                int(seq[at]),
+                0 if infinite[at] else 1,
+                k,
+                node_ids[int(si[at])],
+                node_ids[int(dj[at])],
+                float(entry_prices[at]),
+            )
+            if first_violation is None or candidate[0] < first_violation[0]:
+                first_violation = candidate
+
+    if first_violation is not None:
+        _sequence, kind, k, source, destination, price = first_violation
+        if kind == 0:
+            raise NotBiconnectedError(
+                message=(
+                    f"price p^{k}_{{{source},{destination}}} undefined: "
+                    f"no {k}-avoiding path (graph not biconnected)"
+                )
+            )
+        raise MechanismError(
+            f"negative VCG price {price} for k={k}, pair "
+            f"({source}, {destination}); avoiding cost below LCP cost"
+        )
+
+    rows: Dict[Tuple[NodeId, NodeId], Dict[NodeId, Cost]] = {}
+    position = 0
+    for source, destination, transit in pairs:
+        row: Dict[NodeId, Cost] = {}
+        for offset, k in enumerate(transit):
+            row[k] = float(prices[position + offset])
+        position += len(transit)
+        rows[(source, destination)] = row
     return rows
 
 
 def vcg_price_matrices(
     graph: ASGraph,
     routes: Optional["AllPairsRoutes"] = None,
-) -> Dict[NodeId, np.ndarray]:
-    """Price matrices ``P_k[i, j] = p^k_ij`` for each transit node ``k``.
+) -> Dict[NodeId, csr_matrix]:
+    """Sparse price matrices ``P_k[i, j] = p^k_ij`` per transit node ``k``.
 
     Cost-only vectorized variant of the mechanism's price table; used by
     the scaling benchmark (E11).  Entries are zero when ``k`` is not on
-    the selected LCP.  Built on :func:`vcg_price_rows`, so the avoiding
-    sweep runs inside ``csgraph`` rather than pure Python.
+    the selected LCP -- which is almost everywhere, so each matrix is
+    returned as a ``csr_matrix`` holding only the priced pairs.  (The
+    dense predecessor allocated ``np.zeros((n, n))`` per transit node:
+    O(n^3) bytes across a table whose non-zeros are O(n^2) total, which
+    exhausted memory long before the price sweep itself did.)  Stored
+    entries include *exact zeros* -- a transit node priced at 0.0 is a
+    real row of the table, distinct from an off-path pair -- so
+    consumers must read stored structure, not value magnitude.  Built
+    on :func:`vcg_price_rows`, so the avoiding sweep runs inside
+    ``csgraph`` rather than pure Python.
     """
     index = graph.index_of()
     n = graph.num_nodes
-    matrices: Dict[NodeId, np.ndarray] = {}
-    for (i, j), row in vcg_price_rows(graph, routes=routes).items():
+    triplets: Dict[NodeId, Tuple[List[int], List[int], List[Cost]]] = {}
+    for (i, j), row in sorted(vcg_price_rows(graph, routes=routes).items()):
         for k in sorted(row):
-            matrix = matrices.setdefault(k, np.zeros((n, n)))
-            matrix[index[i], index[j]] = row[k]
+            rows_cols_vals = triplets.setdefault(k, ([], [], []))
+            rows_cols_vals[0].append(index[i])
+            rows_cols_vals[1].append(index[j])
+            rows_cols_vals[2].append(row[k])
+    matrices: Dict[NodeId, csr_matrix] = {}
+    for k in sorted(triplets):
+        rows_idx, cols_idx, values = triplets[k]
+        matrix = csr_matrix(
+            (values, (rows_idx, cols_idx)), shape=(n, n), dtype=float
+        )
+        if matrix.nnz != len(values):
+            raise EngineError(
+                "sparse price-matrix construction dropped stored entries "
+                f"({matrix.nnz} kept of {len(values)}); zero-priced "
+                "transit rows would no longer round-trip"
+            )
+        matrices[k] = matrix
     return matrices
 
 

@@ -55,6 +55,11 @@ GRAPHS = {
         12, 0.4, seed=2, cost_sampler=integer_costs(1, 9)
     ),
     "isp16": lambda: isp_like_graph(16, seed=3, cost_sampler=integer_costs(1, 6)),
+    # large enough that the flat engine's demand restriction and
+    # symmetric orientation actually engage (hundreds of transit nodes
+    # would be overkill here; dozens suffice to exercise multi-entry
+    # per-k blocks and cross-k sequence bookkeeping)
+    "isp40-s7": lambda: isp_like_graph(40, seed=7, cost_sampler=integer_costs(0, 6)),
     "ring9": lambda: ring_graph(9, seed=4, cost_sampler=integer_costs(1, 4)),
     "waxman14": lambda: waxman_graph(14, seed=5, cost_sampler=integer_costs(0, 7)),
 }

@@ -9,6 +9,7 @@ from repro.mechanism.vcg import compute_price_table
 from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.engines import (
     Engine,
+    FlatEngine,
     IncrementalEngine,
     ParallelEngine,
     ReferenceEngine,
@@ -22,11 +23,18 @@ from repro.routing.engines import (
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert engine_names() == ("incremental", "parallel", "reference", "scipy")
+        assert engine_names() == (
+            "flat",
+            "incremental",
+            "parallel",
+            "reference",
+            "scipy",
+        )
 
     def test_get_engine_instantiates(self):
         assert isinstance(get_engine("reference"), ReferenceEngine)
         assert isinstance(get_engine("scipy"), ScipyEngine)
+        assert isinstance(get_engine("flat"), FlatEngine)
         assert isinstance(get_engine("parallel"), ParallelEngine)
         assert isinstance(get_engine("incremental"), IncrementalEngine)
 
@@ -51,16 +59,19 @@ class TestRegistry:
         assert get_engine("parallel").carries_paths
         assert get_engine("incremental").carries_paths
         assert not get_engine("scipy").carries_paths
+        assert not get_engine("flat").carries_paths
 
 
 class TestCapabilityErrors:
-    def test_cost_only_engine_has_no_paths(self, fig1):
+    @pytest.mark.parametrize("name", ["scipy", "flat"])
+    def test_cost_only_engine_has_no_paths(self, fig1, name):
         with pytest.raises(EngineError, match="cost-only"):
-            get_engine("scipy").all_pairs(fig1)
+            get_engine(name).all_pairs(fig1)
 
-    def test_all_pairs_lcp_engine_must_carry_paths(self, fig1):
+    @pytest.mark.parametrize("name", ["scipy", "flat"])
+    def test_all_pairs_lcp_engine_must_carry_paths(self, fig1, name):
         with pytest.raises(EngineError, match="cost-only"):
-            all_pairs_lcp(fig1, engine="scipy")
+            all_pairs_lcp(fig1, engine=name)
 
 
 class TestEngineParameter:
@@ -71,7 +82,9 @@ class TestEngineParameter:
         engine = ParallelEngine(workers=1)
         assert all_pairs_lcp(fig1, engine=engine).paths == default.paths
 
-    @pytest.mark.parametrize("name", ["reference", "scipy", "parallel", "incremental"])
+    @pytest.mark.parametrize(
+        "name", ["reference", "scipy", "flat", "parallel", "incremental"]
+    )
     def test_compute_price_table_dispatches(self, fig1, name):
         default = compute_price_table(fig1)
         assert compute_price_table(fig1, engine=name).rows == default.rows

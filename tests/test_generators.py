@@ -6,6 +6,8 @@ from repro.exceptions import GraphError
 from repro.graphs.biconnectivity import is_biconnected
 from repro.graphs.generators import (
     FAMILIES,
+    SCALING_PRESETS,
+    SCALING_SIZES,
     FIG1_COSTS,
     FIG1_LABELS,
     barabasi_albert_graph,
@@ -16,6 +18,7 @@ from repro.graphs.generators import (
     isp_like_graph,
     random_biconnected_graph,
     ring_graph,
+    scaling_graph,
     uniform_costs,
     waxman_graph,
     wheel_graph,
@@ -162,3 +165,34 @@ class TestSpecificShapes:
     def test_waxman_minimum_size(self):
         with pytest.raises(GraphError):
             waxman_graph(2)
+
+
+class TestScalingPresets:
+    def test_registry_covers_families_and_sizes(self):
+        assert SCALING_SIZES == (1000, 2000, 5000)
+        expected = {
+            f"{family}-{n}"
+            for family in ("isp-like", "barabasi-albert")
+            for n in SCALING_SIZES
+        }
+        assert set(SCALING_PRESETS) == expected
+        for family, n, seed in SCALING_PRESETS.values():
+            assert family in FAMILIES
+            assert seed == n
+
+    @pytest.mark.parametrize("preset", ["isp-like-1000", "barabasi-albert-1000"])
+    def test_presets_build_biconnected(self, preset):
+        graph = scaling_graph(preset)
+        assert graph.num_nodes == 1000
+        assert graph.num_edges >= graph.num_nodes  # biconnected implies >= n
+        assert is_biconnected(graph)
+
+    def test_presets_are_deterministic(self):
+        first = scaling_graph("isp-like-1000")
+        second = scaling_graph("isp-like-1000")
+        assert first.edges == second.edges
+        assert all(first.cost(v) == second.cost(v) for v in first.nodes)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(GraphError, match="unknown scaling preset"):
+            scaling_graph("isp-like-999")

@@ -1,0 +1,159 @@
+"""Tests for the vectorized price rows (`repro.routing.engines.vectorized`).
+
+The legacy vectorized sweep is now **k-major and memory-bounded**: the
+routes are inverted into per-transit-node demand, each dense detour
+matrix is computed once, consumed and dropped, and the earliest
+violation *in the reference iteration order* is raised afterwards.
+These tests pin the three behaviors that restructuring could have
+broken -- value agreement, error-witness parity, and the bounded
+memory profile -- plus the sparse ``vcg_price_matrices`` contract
+(stored structure includes exact-zero prices).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.exceptions import MechanismError, NotBiconnectedError
+from repro.graphs.asgraph import ASGraph
+from repro.graphs.generators import (
+    fig1_graph,
+    integer_costs,
+    isp_like_graph,
+    random_biconnected_graph,
+)
+from repro.mechanism.vcg import compute_price_table
+from repro.routing.allpairs import all_pairs_lcp
+from repro.routing.engines.vectorized import vcg_price_matrices, vcg_price_rows
+
+
+class TestKMajorSweep:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference_table(self, seed):
+        graph = random_biconnected_graph(
+            12, 0.3, seed=seed, cost_sampler=integer_costs(0, 6)
+        )
+        reference = compute_price_table(graph)
+        rows = vcg_price_rows(graph)
+        # integer costs: the reassociated arithmetic is bit-identical
+        assert rows == reference.rows
+
+    def test_not_biconnected_witness_matches_reference(self):
+        # two triangles glued at node 2: a cut vertex, many violations
+        graph = ASGraph(
+            nodes=[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0)],
+            edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        with pytest.raises(NotBiconnectedError) as reference_error:
+            compute_price_table(graph)
+        with pytest.raises(NotBiconnectedError) as legacy_error:
+            vcg_price_rows(graph)
+        assert str(legacy_error.value) == str(reference_error.value)
+
+    def test_negative_price_witness_matches_reference(self):
+        # routes priced against a uniformly scaled-up graph select the
+        # same paths but carry 10x LCP costs: every price goes negative
+        graph = fig1_graph()
+        scaled = ASGraph(
+            nodes=[(n, graph.cost(n) * 10.0) for n in graph.nodes],
+            edges=list(graph.edges),
+        )
+        expensive_routes = all_pairs_lcp(scaled)
+        with pytest.raises(MechanismError) as reference_error:
+            compute_price_table(graph, routes=expensive_routes)
+        with pytest.raises(MechanismError) as legacy_error:
+            vcg_price_rows(graph, routes=expensive_routes)
+        assert str(legacy_error.value) == str(reference_error.value)
+
+    def test_at_most_one_detour_matrix_alive(self, monkeypatch):
+        """The sweep consumes each dense detour matrix and drops it;
+        the old behavior cached every one for the whole call."""
+        import repro.routing.engines.vectorized as vectorized
+
+        class TrackedArray(np.ndarray):
+            """ndarray subclass so the matrices accept weakrefs."""
+
+        alive = {"now": 0, "max": 0, "total": 0}
+        real = vectorized.avoiding_costs_matrix
+
+        def release():
+            alive["now"] -= 1
+
+        def tracking(graph, k):
+            detours, index = real(graph, k)
+            tracked = detours.view(TrackedArray)
+            alive["now"] += 1
+            alive["total"] += 1
+            alive["max"] = max(alive["max"], alive["now"])
+            weakref.finalize(tracked, release)
+            return tracked, index
+
+        monkeypatch.setattr(vectorized, "avoiding_costs_matrix", tracking)
+        graph = isp_like_graph(60, seed=11, cost_sampler=integer_costs(1, 6))
+        vcg_price_rows(graph, routes=all_pairs_lcp(graph))
+        assert alive["total"] >= 10  # the bound below is meaningful
+        assert alive["max"] <= 2  # the live one plus its successor
+
+
+class TestSparsePriceMatrices:
+    def test_structure_matches_rows(self):
+        graph = isp_like_graph(20, seed=5, cost_sampler=integer_costs(1, 6))
+        routes = all_pairs_lcp(graph)
+        rows = vcg_price_rows(graph, routes)
+        matrices = vcg_price_matrices(graph, routes)
+        index = graph.index_of()
+        expected_keys = {k for row in rows.values() for k in row}
+        assert set(matrices) == expected_keys
+        for k, matrix in matrices.items():
+            assert isinstance(matrix, csr_matrix)
+            assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+            demanded = {
+                (index[i], index[j]) for (i, j), row in rows.items() if k in row
+            }
+            coo = matrix.tocoo()
+            stored = set(zip(coo.row.tolist(), coo.col.tolist()))
+            assert stored == demanded, k
+            for (i, j), row in rows.items():
+                if k in row:
+                    assert matrix[index[i], index[j]] == row[k]
+
+    def test_exact_zero_prices_are_stored(self):
+        # a 4-cycle with two zero-cost parallel transit nodes: the
+        # selected 0 -> 1 route transits one of them at price exactly
+        # 0.0 (the alternate detour costs the same), which must remain
+        # a *stored* entry of the sparse matrix
+        graph = ASGraph(
+            nodes=[(0, 1.0), (1, 2.0), (2, 0.0), (3, 0.0)],
+            edges=[(0, 2), (2, 1), (0, 3), (3, 1)],
+        )
+        routes = all_pairs_lcp(graph)
+        rows = vcg_price_rows(graph, routes)
+        zero_priced = [
+            (pair, k)
+            for pair, row in rows.items()
+            for k, price in row.items()
+            if price == 0.0
+        ]
+        assert zero_priced, "fixture no longer produces a zero price"
+        matrices = vcg_price_matrices(graph, routes)
+        index = graph.index_of()
+        for (i, j), k in zero_priced:
+            coo = matrices[k].tocoo()
+            stored = set(zip(coo.row.tolist(), coo.col.tolist()))
+            assert (index[i], index[j]) in stored
+
+    def test_matrices_are_sparse_not_dense(self):
+        graph = isp_like_graph(24, seed=8, cost_sampler=integer_costs(1, 6))
+        matrices = vcg_price_matrices(graph)
+        n = graph.num_nodes
+        total_stored = sum(matrix.nnz for matrix in matrices.values())
+        # the dense predecessor stored len(matrices) * n^2 floats; the
+        # whole point of the sparse form is total storage O(n^2)-ish
+        assert total_stored < len(matrices) * n * n / 4
+        assert total_stored == sum(
+            len(row) for row in vcg_price_rows(graph).values()
+        )
