@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze test test-deprecations bench bench-protocol bench-dynamics bench-analyzer bench-flat bench-timed sanitize-test test-engines test-timed trace-smoke
+.PHONY: check lint analyze test test-deprecations bench bench-protocol bench-dynamics bench-analyzer bench-flat bench-flat-parallel bench-timed sanitize-test test-engines test-timed trace-smoke
 
 check:
 	$(PYTHON) -m repro.devtools.check
@@ -86,6 +86,14 @@ bench-timed:
 # ISP-like preset within its demand-derived memory bound
 bench-flat:
 	$(PYTHON) benchmarks/bench_flat_sweep.py --out BENCH_flat.json
+
+# sharded flat-sweep gate: on the isp-like-2000 preset the 4-worker
+# array-native sweep must beat the single-process dict-materializing
+# flat path by >= 2x with bit-identical prices across worker counts;
+# merges the speedup-vs-workers rows into BENCH_flat.json without
+# discarding the committed full-preset records
+bench-flat-parallel:
+	$(PYTHON) benchmarks/bench_flat_sweep.py --phases parallel --out BENCH_flat.json
 
 # analyzer wall-clock benchmark: full-tree analysis must stay under
 # ~5 s so the contract gate remains a per-commit check; writes

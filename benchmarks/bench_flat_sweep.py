@@ -2,61 +2,106 @@
 
 The ``flat`` engine is the scaling backend for the Theorem 1 price
 sweep: one-shot CSR build, O(deg(k)) in-place masking for ``G - k``,
-demand-restricted and symmetry-oriented Dijkstra batches, vectorized
-price evaluation.  This benchmark pins the three claims that justify
-its existence, and fails (non-zero exit) if any regresses:
+vectorized route inversion, demand-restricted and symmetry-oriented
+Dijkstra batches, array-native price evaluation; ``flat-parallel``
+shards the same sweep across worker processes over shared memory.
+This benchmark pins the claims that justify both, and fails (non-zero
+exit) if any regresses:
 
-1. **Identity.**  At n <= 200 the flat table must match the reference
-   engine (n = 128) and the legacy vectorized sweep (n = 200):
-   identical ``(pair, transit)`` key sets, every price within
-   ``costs_close``.
+1. **Identity** (phase ``identity``).  At n <= 200 the flat table must
+   match the reference engine (n = 128) and the legacy vectorized
+   sweep (n = 200): identical ``(pair, transit)`` key sets, every
+   price within ``costs_close``.
 
-2. **Speed.**  At n = 500 the flat sweep must price the table at least
-   ``SPEEDUP_FLOOR`` (5x) faster than the legacy vectorized
-   ``vcg_price_rows`` path, with the canonical routes precomputed and
-   shared so only the avoiding sweeps are compared.
+2. **Speed** (phase ``speedup``).  At n = 500 the flat sweep must
+   price the table at least ``SPEEDUP_FLOOR`` (5x) faster than the
+   legacy vectorized ``vcg_price_rows`` path, with the canonical
+   routes precomputed and shared so only the avoiding sweeps are
+   compared.
 
-3. **Memory.**  At n = 1000 (ISP-like scaling preset) the sweep must
-   complete with a tracemalloc peak under a bound derived from its own
-   demand accounting -- a few live distance blocks plus O(entries)
-   assembly -- far below both the O(n^3) dense-cache predecessor and
-   one retained matrix per transit node.  Wall-clock is recorded.
+3. **Memory** (phase ``memory``).  At n = 1000 (ISP-like scaling
+   preset) the dict-materializing sweep must complete with a
+   tracemalloc peak under a bound derived from its own demand
+   accounting.
 
-Output goes to ``BENCH_flat.json`` (``make bench-flat`` writes it at
-the repo root).  Run directly::
+4. **Sharded speed** (phase ``parallel``).  On the isp-like-2000
+   preset, the array-native sharded sweep with 4 workers must beat the
+   single-process dict-materializing ``flat`` path by at least
+   ``PARALLEL_SPEEDUP_FLOOR`` (2x), with speedup-vs-workers rows
+   recorded for workers 1/2/4 and bit-identical prices across worker
+   counts.  This is the ``make bench-flat-parallel`` CI gate.
+
+5. **Preset scaling** (phase ``presets``).  Every scaling preset is
+   priced end-to-end on the array-native path (scipy-forest demand +
+   inline sweep), recording wall-clock, peak tracemalloc, and peak RSS,
+   each gated against a bound derived from the preset's own demand
+   accounting.  By default the phase covers n <= 2000;
+   ``--full-presets`` extends it to n = 5000 and n = 10000 (the
+   internet-scale floor -- minutes of wall-clock, run to refresh the
+   committed artifact rather than per-CI).
+
+``--phases`` selects a comma-separated subset; the output document
+*merges* into an existing ``BENCH_flat.json`` (phases not re-run keep
+their previous records), so the parallel CI gate does not discard the
+committed full-preset rows.  Run directly::
 
     python benchmarks/bench_flat_sweep.py --quick --out BENCH_flat.json
+    python benchmarks/bench_flat_sweep.py --phases parallel
+    python benchmarks/bench_flat_sweep.py --phases presets --full-presets
 
-(``--quick`` skips the n = 1000 memory phase and shrinks the speedup
-instance; the CI gate runs the full configuration.)  Under pytest
-(``make bench``) a small configuration doubles as a regression
-assertion on identity and on the demand-restriction accounting.
+(``--quick`` shrinks the speedup/parallel instances and skips the
+memory/presets phases; quick runs record but do not gate.)  Under
+pytest (``make bench``) a small configuration doubles as a regression
+assertion on identity, worker parity, and the demand accounting.
 
 This module must stay importable with the baseline toolchain only (in
-particular: no module-level scipy) -- ``repro.devtools.check`` enforces
-that for the whole benchmarks/ directory; the engine imports below pull
-scipy in lazily at call time instead.
+particular: no module-level scipy or numpy) -- ``repro.devtools.check``
+enforces that for the whole benchmarks/ directory; the engine imports
+below pull scipy in lazily at call time instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import resource
 import time
 import tracemalloc
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.graphs.generators import integer_costs, isp_like_graph, scaling_graph
+from repro.graphs.generators import (
+    SCALING_PRESETS,
+    integer_costs,
+    isp_like_graph,
+    scaling_graph,
+    uniform_costs,
+)
 from repro.types import costs_close
 
 #: The acceptance bar: flat sweep vs legacy vectorized sweep at n = 500.
 SPEEDUP_FLOOR = 5.0
+
+#: The acceptance bar: 4-worker array-native sharded sweep vs the
+#: single-process dict-materializing flat path at n = 2000.
+PARALLEL_SPEEDUP_FLOOR = 2.0
 
 IDENTITY_REFERENCE_N = 128
 IDENTITY_LEGACY_N = 200
 SPEEDUP_N = 500
 SPEEDUP_QUICK_N = 200
 MEMORY_PRESET = "isp-like-1000"
+PARALLEL_PRESET = "isp-like-2000"
+PARALLEL_QUICK_N = 300
+PARALLEL_WORKERS = (1, 2, 4)
+
+#: Preset sizes covered by the default ``presets`` phase vs by
+#: ``--full-presets`` (the n >= 5000 rows take minutes; they are
+#: refreshed explicitly, not per-CI).
+PRESET_GATE_SIZES = (1000, 2000)
+PRESET_FULL_SIZES = (1000, 2000, 5000, 10000)
+
+ALL_PHASES = ("identity", "speedup", "memory", "parallel", "presets")
 
 
 def _tables_agree(expected, actual) -> List[str]:
@@ -79,6 +124,15 @@ def _tables_agree(expected, actual) -> List[str]:
     return problems
 
 
+def _peak_rss_bytes() -> int:
+    """High-water RSS of this process (Linux reports KiB).
+
+    Cumulative over the process lifetime -- meaningful when phases run
+    instances in ascending size order, as the presets phase does.
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
 def run_identity_phase() -> Dict[str, Any]:
     from repro.routing.allpairs import all_pairs_lcp
     from repro.routing.engines import get_engine
@@ -97,6 +151,13 @@ def run_identity_phase() -> Dict[str, Any]:
     problems += [
         f"reference n={IDENTITY_REFERENCE_N}: {p}"
         for p in _tables_agree(reference_table.rows, flat_table.rows)
+    ]
+    sharded_table = get_engine("flat-parallel", workers=2).price_table(
+        reference_graph, routes=reference_table.routes
+    )
+    problems += [
+        f"sharded n={IDENTITY_REFERENCE_N}: {p}"
+        for p in _tables_agree(reference_table.rows, sharded_table.rows)
     ]
 
     legacy_graph = isp_like_graph(
@@ -199,28 +260,218 @@ def run_memory_phase() -> Dict[str, Any]:
     }
 
 
-def run_suite(quick: bool = False) -> Dict[str, Any]:
-    phases: Dict[str, Any] = {"identity": run_identity_phase()}
-    phases["speedup"] = run_speedup_phase(SPEEDUP_QUICK_N if quick else SPEEDUP_N)
-    if not quick:
+def run_parallel_phase(quick: bool = False) -> Dict[str, Any]:
+    """Speedup-vs-workers for the sharded array-native sweep.
+
+    The baseline is what the ``flat`` engine delivers -- the
+    dict-materializing :func:`flat_price_rows` -- and the contenders
+    are what ``flat-parallel`` delivers: :func:`flat_price_arrays`
+    with 1/2/4 workers, no per-entry Python assembly.  Canonical
+    routes are precomputed and shared so route selection is out of the
+    comparison, and prices must be bit-identical across all worker
+    counts.
+    """
+    import numpy as np
+
+    from repro.routing.allpairs import all_pairs_lcp
+    from repro.routing.engines.flat import flat_price_rows
+    from repro.routing.flatsweep import FlatSweepStats, flat_price_arrays
+
+    if quick:
+        preset = f"isp-like-{PARALLEL_QUICK_N} (ad hoc)"
+        graph = isp_like_graph(
+            PARALLEL_QUICK_N, seed=0, cost_sampler=uniform_costs(1.0, 6.0)
+        )
+    else:
+        preset = PARALLEL_PRESET
+        graph = scaling_graph(PARALLEL_PRESET)
+
+    routes_start = time.perf_counter()
+    routes = all_pairs_lcp(graph)
+    routes_seconds = time.perf_counter() - routes_start
+
+    dict_start = time.perf_counter()
+    flat_price_rows(graph, routes)
+    dict_seconds = time.perf_counter() - dict_start
+
+    worker_rows: List[Dict[str, Any]] = []
+    baseline_prices = None
+    identical = True
+    for workers in PARALLEL_WORKERS:
+        stats = FlatSweepStats()
+        start = time.perf_counter()
+        arrays = flat_price_arrays(graph, routes, workers=workers, stats=stats)
+        seconds = time.perf_counter() - start
+        if baseline_prices is None:
+            baseline_prices = arrays.prices
+        else:
+            identical = identical and np.array_equal(baseline_prices, arrays.prices)
+        worker_rows.append(
+            {
+                "workers": workers,
+                "shards": stats.shards,
+                "seconds": round(seconds, 4),
+                "speedup_vs_flat_dict": round(dict_seconds / seconds, 2)
+                if seconds > 0
+                else float("inf"),
+            }
+        )
+
+    gated = next(row for row in worker_rows if row["workers"] == 4)
+    return {
+        "preset": preset,
+        "n": graph.num_nodes,
+        "edges": graph.num_edges,
+        "routes_seconds": round(routes_seconds, 4),
+        "flat_dict_seconds": round(dict_seconds, 4),
+        "workers": worker_rows,
+        "speedup": gated["speedup_vs_flat_dict"],
+        "speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        "prices_identical_across_workers": identical,
+        "note": (
+            "baseline is the flat engine's dict deliverable; contenders are "
+            "the flat-parallel engine's array deliverable (sweep + assembly "
+            "both counted, shared precomputed routes)"
+        ),
+    }
+
+
+def run_presets_phase(sizes: Sequence[int]) -> Dict[str, Any]:
+    """Price every scaling preset end-to-end on the array-native path.
+
+    Demand comes from the scipy predecessor forest (the canonical
+    tie-broken solve is infeasible at n >= 5000), the sweep runs
+    inline, and nothing materializes per-entry Python objects -- this
+    is the large-instance configuration the ROADMAP's internet-scale
+    item needs.  Peak tracemalloc is gated against a bound derived from
+    the preset's own demand accounting; peak RSS is recorded (run in
+    ascending size order, so the cumulative high-water mark is
+    attributable to the largest completed preset).
+    """
+    from repro.routing.flatgraph import build_flat_graph
+    from repro.routing.flatsweep import (
+        _FOREST_BLOCK,
+        FlatSweepStats,
+        demand_from_forest,
+        sweep_demand,
+    )
+
+    presets = [
+        f"{family}-{n}"
+        for n in sorted(sizes)
+        for family in ("barabasi-albert", "isp-like")
+        if f"{family}-{n}" in SCALING_PRESETS
+    ]
+    rows: Dict[str, Any] = {}
+    for preset in presets:
+        graph = scaling_graph(preset)
+        n = graph.num_nodes
+        flat = build_flat_graph(graph)
+        stats = FlatSweepStats()
+        tracemalloc.start()
+        demand_start = time.perf_counter()
+        demand = demand_from_forest(graph, flat)
+        demand_seconds = time.perf_counter() - demand_start
+        sweep_start = time.perf_counter()
+        arrays = sweep_demand(demand, stats=stats)
+        sweep_seconds = time.perf_counter() - sweep_start
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        # Demand-derived bound, no dict assembly term: the forest blocks
+        # (dist + predecessors + flattened parents), the demand arrays
+        # (two orders plus pre-gathered solve columns, ~56B/entry with
+        # concatenation transients), and a few live distance blocks.
+        block_bytes = 8 * n * stats.max_block_rows
+        forest_bytes = 24 * n * _FOREST_BLOCK
+        demand_bound = (
+            64_000_000
+            + 4 * block_bytes
+            + 2 * forest_bytes
+            + 96 * stats.entries
+        )
+        rows[preset] = {
+            "n": n,
+            "edges": graph.num_edges,
+            "pairs_priced": arrays.num_pairs,
+            "demand_seconds": round(demand_seconds, 4),
+            "sweep_seconds": round(sweep_seconds, 4),
+            "sweep_stats": stats.__dict__.copy(),
+            "tracemalloc_peak_bytes": peak,
+            "demand_bound_bytes": demand_bound,
+            "rss_peak_bytes": _peak_rss_bytes(),
+            "within_bound": peak < demand_bound,
+        }
+        del demand, arrays, flat, graph
+    return {
+        "sizes": sorted(sizes),
+        "demand": "scipy predecessor forest (canonical ties infeasible here)",
+        "rows": rows,
+        "note": (
+            "timed under tracemalloc; rss_peak_bytes is the process "
+            "high-water mark, cumulative across ascending presets"
+        ),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    phases_selected: Optional[Sequence[str]] = None,
+    full_presets: bool = False,
+) -> Dict[str, Any]:
+    if phases_selected is None:
+        phases_selected = (
+            ("identity", "speedup", "parallel")
+            if quick
+            else ("identity", "speedup", "memory", "parallel", "presets")
+        )
+    phases: Dict[str, Any] = {}
+    if "identity" in phases_selected:
+        phases["identity"] = run_identity_phase()
+    if "speedup" in phases_selected:
+        phases["speedup"] = run_speedup_phase(SPEEDUP_QUICK_N if quick else SPEEDUP_N)
+    if "memory" in phases_selected and not quick:
         phases["memory"] = run_memory_phase()
+    if "parallel" in phases_selected:
+        phases["parallel"] = run_parallel_phase(quick=quick)
+    if "presets" in phases_selected and not quick:
+        phases["presets"] = run_presets_phase(
+            PRESET_FULL_SIZES if full_presets else PRESET_GATE_SIZES
+        )
 
     failures: List[str] = []
-    if not phases["identity"]["identical_keys"]:
+    if "identity" in phases and not phases["identity"]["identical_keys"]:
         failures.append("identity: flat table disagrees")
-    if phases["speedup"]["problems"]:
-        failures.append("speedup: flat table disagrees with legacy sweep")
-    # the 5x bar is calibrated at n = 500; quick runs record but don't gate
-    if not quick and phases["speedup"]["speedup"] < SPEEDUP_FLOOR:
-        failures.append(
-            f"speedup {phases['speedup']['speedup']}x below the "
-            f"{SPEEDUP_FLOOR}x floor at n={phases['speedup']['n']}"
-        )
-    if not quick and not phases["memory"]["within_bound"]:
+    if "speedup" in phases:
+        if phases["speedup"]["problems"]:
+            failures.append("speedup: flat table disagrees with legacy sweep")
+        # the 5x bar is calibrated at n = 500; quick runs record but don't gate
+        if not quick and phases["speedup"]["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"speedup {phases['speedup']['speedup']}x below the "
+                f"{SPEEDUP_FLOOR}x floor at n={phases['speedup']['n']}"
+            )
+    if "memory" in phases and not phases["memory"]["within_bound"]:
         failures.append(
             f"memory: peak {phases['memory']['tracemalloc_peak_bytes']} "
             f"over bound {phases['memory']['demand_bound_bytes']}"
         )
+    if "parallel" in phases:
+        if not phases["parallel"]["prices_identical_across_workers"]:
+            failures.append("parallel: prices differ across worker counts")
+        # the 2x bar is calibrated on isp-like-2000; quick records only
+        if not quick and phases["parallel"]["speedup"] < PARALLEL_SPEEDUP_FLOOR:
+            failures.append(
+                f"parallel speedup {phases['parallel']['speedup']}x below the "
+                f"{PARALLEL_SPEEDUP_FLOOR}x floor on {phases['parallel']['preset']}"
+            )
+    if "presets" in phases:
+        for preset, row in phases["presets"]["rows"].items():
+            if not row["within_bound"]:
+                failures.append(
+                    f"presets: {preset} peak {row['tracemalloc_peak_bytes']} "
+                    f"over bound {row['demand_bound_bytes']}"
+                )
     return {
         "benchmark": "flat_sweep",
         "quick": quick,
@@ -230,34 +481,100 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def _merge_into_existing(path: str, document: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge this run's phases into an existing output document.
+
+    Phases not re-run keep their previous records (so a
+    ``--phases parallel`` CI gate does not discard the committed
+    full-preset rows); ``failures``/``passed`` always describe the
+    current run only.
+    """
+    if not os.path.exists(path):
+        return document
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return document
+    if previous.get("benchmark") != document["benchmark"]:
+        return document
+    merged_phases = dict(previous.get("phases", {}))
+    merged_phases.update(document["phases"])
+    document = dict(document)
+    document["phases"] = merged_phases
+    return document
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smaller speedup instance, skip the n=1000 memory phase",
+        help="smaller speedup/parallel instances, skip memory/presets phases",
+    )
+    parser.add_argument(
+        "--phases",
+        default=None,
+        help=f"comma-separated subset of {', '.join(ALL_PHASES)} (default: all)",
+    )
+    parser.add_argument(
+        "--full-presets",
+        action="store_true",
+        help="extend the presets phase to n=5000 and n=10000 (minutes)",
     )
     parser.add_argument("--out", default="BENCH_flat.json", help="output path")
     args = parser.parse_args(argv)
 
-    document = run_suite(quick=args.quick)
+    selected: Optional[List[str]] = None
+    if args.phases:
+        selected = [phase.strip() for phase in args.phases.split(",") if phase.strip()]
+        unknown = [phase for phase in selected if phase not in ALL_PHASES]
+        if unknown:
+            parser.error(f"unknown phases: {', '.join(unknown)}")
+
+    document = run_suite(
+        quick=args.quick, phases_selected=selected, full_presets=args.full_presets
+    )
+    document = _merge_into_existing(args.out, document)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=2)
         fh.write("\n")
 
-    speed = document["phases"]["speedup"]
-    print(
-        f"flat sweep n={speed['n']}: legacy {speed['legacy_seconds']}s, "
-        f"flat {speed['flat_seconds']}s ({speed['speedup']}x)"
-    )
-    if "memory" in document["phases"]:
-        memory = document["phases"]["memory"]
+    phases = document["phases"]
+    if "speedup" in phases:
+        speed = phases["speedup"]
+        print(
+            f"flat sweep n={speed['n']}: legacy {speed['legacy_seconds']}s, "
+            f"flat {speed['flat_seconds']}s ({speed['speedup']}x)"
+        )
+    if "memory" in phases:
+        memory = phases["memory"]
         print(
             f"n={memory['n']}: sweep {memory['sweep_seconds']}s under "
             f"tracemalloc, peak {memory['tracemalloc_peak_bytes'] / 1e6:.0f} MB "
             f"(bound {memory['demand_bound_bytes'] / 1e6:.0f} MB, dense cache "
             f"would hold {memory['dense_cache_bytes'] / 1e9:.1f} GB)"
         )
+    if "parallel" in phases:
+        par = phases["parallel"]
+        per_worker = ", ".join(
+            f"w={row['workers']}: {row['seconds']}s "
+            f"({row['speedup_vs_flat_dict']}x)"
+            for row in par["workers"]
+        )
+        print(
+            f"sharded sweep on {par['preset']}: flat dict "
+            f"{par['flat_dict_seconds']}s; {per_worker}"
+        )
+    if "presets" in phases:
+        for preset, row in phases["presets"]["rows"].items():
+            print(
+                f"{preset}: demand {row['demand_seconds']}s + sweep "
+                f"{row['sweep_seconds']}s, peak "
+                f"{row['tracemalloc_peak_bytes'] / 1e6:.0f} MB "
+                f"(bound {row['demand_bound_bytes'] / 1e6:.0f} MB), "
+                f"rss {row['rss_peak_bytes'] / 1e6:.0f} MB"
+            )
     for failure in document["failures"]:
         print(f"FAIL: {failure}")
     print("PASS" if document["passed"] else "FAIL", f"-> {args.out}")
@@ -268,9 +585,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 # pytest integration: a small configuration as a tracked benchmark.
 # ----------------------------------------------------------------------
 def test_bench_flat_sweep(benchmark):
+    import numpy as np
+
     from repro.routing.allpairs import all_pairs_lcp
     from repro.routing.engines.flat import FlatSweepStats, flat_price_rows
     from repro.routing.engines.vectorized import vcg_price_rows
+    from repro.routing.flatsweep import flat_price_arrays
 
     graph = isp_like_graph(96, seed=0, cost_sampler=integer_costs(1, 6))
     routes = all_pairs_lcp(graph)
@@ -283,6 +603,10 @@ def test_bench_flat_sweep(benchmark):
     # demand restriction + symmetric orientation must actually engage
     assert stats.rows < stats.solves * graph.num_nodes
     assert stats.max_block_rows < graph.num_nodes
+    # sharding must be invisible: pooled prices match inline bit for bit
+    inline = flat_price_arrays(graph, routes)
+    pooled = flat_price_arrays(graph, routes, workers=2)
+    assert np.array_equal(inline.prices, pooled.prices)
 
 
 if __name__ == "__main__":

@@ -335,8 +335,11 @@ FAMILIES: Dict[str, Callable[..., ASGraph]] = {
     "isp-like": isp_like_graph,
 }
 
-#: Node counts of the shared large-instance presets.
-SCALING_SIZES: Tuple[int, ...] = (1000, 2000, 5000)
+#: Node counts of the shared large-instance presets.  The n = 10000
+#: entries are the internet-scale floor of the ROADMAP's policy-topology
+#: item; the flat-parallel sweep is the only engine expected to price
+#: them end-to-end.
+SCALING_SIZES: Tuple[int, ...] = (1000, 2000, 5000, 10000)
 
 #: Seeded large-instance presets shared by the flat-sweep scaling
 #: benchmark and the upcoming internet-scale policy-topology work, so

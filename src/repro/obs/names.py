@@ -29,7 +29,10 @@ proxy: round-robin shards of near-equal size keep every worker busy),
 and ``mechanism.price_rows`` counts price-row throughput per engine.
 The flat engine's demand-restricted sweep is accounted by
 ``routing.flat.{solves,rows,masked}`` (masked Dijkstra calls, distance
-rows computed, stored CSR entries masked in place).
+rows computed, stored CSR entries masked in place) plus
+``routing.flat.{workers,shards}`` (the sweep's process/shard layout;
+1/1 for the inline ``flat`` engine, the pool geometry for
+``flat-parallel``).
 
 Span names (``obs.span``) cover the end-to-end pipeline:
 ``bgp.stage``, ``bgp.sync.run``, ``bgp.async.run``, ``bgp.timed.run``,
@@ -77,6 +80,10 @@ ROUTE_TREES = "routing.route_trees"
 FLAT_SOLVES = "routing.flat.solves"
 FLAT_ROWS = "routing.flat.rows"
 FLAT_MASKED = "routing.flat.masked"
+# workers/shards: the sweep's process/shard layout (1/1 inline; the
+# shared-memory pool geometry under the flat-parallel engine).
+FLAT_WORKERS = "routing.flat.workers"
+FLAT_SHARDS = "routing.flat.shards"
 
 # -- incremental-engine cache accounting -------------------------------
 # hits: trees served from cache; misses: trees computed from scratch;

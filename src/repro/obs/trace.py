@@ -117,6 +117,16 @@ class TraceSummary:
     #: whether the trace recorded any ``routing.cache.*`` counter at
     #: all (an all-miss cold run still reports zeros in the summary).
     cache_seen: bool = False
+    #: ``routing.flat.*`` totals (flat / flat-parallel engines): masked
+    #: Dijkstra solves, distance rows computed, stored entries masked,
+    #: and the sweep's worker/shard layout.
+    flat_solves: int = 0
+    flat_rows: int = 0
+    flat_masked: int = 0
+    flat_workers: int = 0
+    flat_shards: int = 0
+    #: whether the trace recorded the flat sweep at all.
+    flat_seen: bool = False
     #: ``bgp.timed.*`` aggregates (discrete-event substrate): final
     #: virtual clock / convergence-time gauges, loss and MRAI counters.
     timed_clock: float = 0.0
@@ -217,6 +227,14 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
         in (names.CACHE_HITS, names.CACHE_MISSES, names.CACHE_INVALIDATIONS)
         for name, _labels in summary.counters
     )
+    summary.flat_solves = int(summary.counter_total(names.FLAT_SOLVES))
+    summary.flat_rows = int(summary.counter_total(names.FLAT_ROWS))
+    summary.flat_masked = int(summary.counter_total(names.FLAT_MASKED))
+    summary.flat_workers = int(summary.counter_total(names.FLAT_WORKERS))
+    summary.flat_shards = int(summary.counter_total(names.FLAT_SHARDS))
+    summary.flat_seen = any(
+        name.startswith("routing.flat.") for name, _labels in summary.counters
+    )
     summary.timed_clock = float(
         summary.gauges.get((names.TIMED_CLOCK, ()), 0.0)
     )
@@ -281,6 +299,12 @@ def summary_tables(summary: TraceSummary, title: Optional[str] = None) -> List[A
         measures.add_row("repair labels relaxed", summary.repair_relaxed)
         measures.add_row("repair labels detached", summary.repair_detached)
         measures.add_row("repair labels re-anchored", summary.repair_reanchored)
+    if summary.flat_seen:
+        measures.add_row("flat sweep Dijkstra solves", summary.flat_solves)
+        measures.add_row("flat sweep distance rows", summary.flat_rows)
+        measures.add_row("flat sweep entries masked", summary.flat_masked)
+        measures.add_row("flat sweep workers", summary.flat_workers)
+        measures.add_row("flat sweep shards", summary.flat_shards)
     if summary.timed_seen:
         measures.add_row("virtual clock at drain (s)", summary.timed_clock)
         measures.add_row("virtual convergence time (s)", summary.timed_convergence_time)

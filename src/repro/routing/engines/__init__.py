@@ -4,15 +4,16 @@ Every backend that can answer "all selected LCPs" / "all Theorem 1
 prices" for an :class:`~repro.graphs.asgraph.ASGraph` registers here
 under a stable name:
 
-=========== =========================================== ==============
-name        backend                                     carries paths
-=========== =========================================== ==============
-reference   serial pure Python (semantics-defining)     yes
-scipy       vectorized ``scipy.sparse.csgraph``         no (cost-only)
-flat        flat-CSR demand-restricted price sweep      no (cost-only)
-parallel    multiprocessing shards of destinations      yes
-incremental epoch-cached warm-start (stateful)          yes
-=========== =========================================== ==============
+============= =========================================== ==============
+name          backend                                     carries paths
+============= =========================================== ==============
+reference     serial pure Python (semantics-defining)     yes
+scipy         vectorized ``scipy.sparse.csgraph``         no (cost-only)
+flat          flat-CSR demand-restricted price sweep      no (cost-only)
+flat-parallel flat sweep sharded over shared memory       no (cost-only)
+parallel      multiprocessing shards of destinations      yes
+incremental   epoch-cached warm-start (stateful)          yes
+============= =========================================== ==============
 
 Callers select an engine by name through the ``engine=`` parameter of
 :func:`repro.routing.allpairs.all_pairs_lcp` and
@@ -31,6 +32,7 @@ from typing import Any, Callable, Dict, List, Tuple, Type, Union, cast
 from repro.exceptions import EngineError
 from repro.routing.engines.base import CostMatrix, Engine
 from repro.routing.engines.flat import FlatEngine, FlatSweepStats, flat_price_rows
+from repro.routing.engines.flat_parallel import FlatParallelEngine
 from repro.routing.engines.incremental import CacheStats, IncrementalEngine
 from repro.routing.engines.parallel import (
     ParallelEngine,
@@ -47,6 +49,7 @@ __all__ = [
     "Engine",
     "EngineSpec",
     "FlatEngine",
+    "FlatParallelEngine",
     "FlatSweepStats",
     "IncrementalEngine",
     "ParallelEngine",
@@ -117,5 +120,6 @@ def resolve_engine(engine: EngineSpec) -> Engine:
 register(ReferenceEngine)
 register(ScipyEngine)
 register(FlatEngine)
+register(FlatParallelEngine)
 register(ParallelEngine)
 register(IncrementalEngine)

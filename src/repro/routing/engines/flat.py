@@ -4,7 +4,7 @@ This is the scaling backend for the Theorem 1 price sweep.  Like the
 ``scipy`` engine it is cost-only (path *selection* still comes from the
 canonical tie-broken routes -- prices are defined relative to them),
 but the avoiding sweep differs in three ways that move the feasible
-instance size from hundreds of nodes to thousands:
+instance size from hundreds of nodes past ten thousand:
 
 1. **One-shot CSR, O(deg(k)) masking.**  The directed
    ``w(u -> v) = c_v`` reduction is built once per graph epoch as flat
@@ -12,27 +12,26 @@ instance size from hundreds of nodes to thousands:
    stored in-edges of ``k`` in place instead of rebuilding the matrix
    from Python edge loops per transit node.
 
-2. **Demand restriction with symmetric orientation.**  The canonical
-   routes are inverted into the transit relation
-   ``k -> {(i, j) : k transit on P(c; i, j)}``.  Under the reduction
-   the *transit* cost of a detour is direction-independent --
-   ``dist(i -> j) - c_j`` and ``dist(j -> i) - c_i`` are both the sum
-   of the interior node costs of the same best avoiding path -- so
-   each *unordered* demanded pair needs only one distance row.  Every
+2. **Vectorized inversion + demand restriction with symmetric
+   orientation.**  The canonical routes are inverted into the transit
+   relation ``k -> {(i, j) : k transit on P(c; i, j)}`` by numpy
+   path-unrolling over dense parent arrays -- no per-(source,
+   destination) Python iteration
+   (:func:`repro.routing.flatsweep.demand_from_routes`).  Under the
+   reduction the *transit* cost of a detour is direction-independent,
+   so each *unordered* demanded pair needs only one distance row; every
    pair is oriented onto the endpoint that covers the most pairs of
-   ``k``'s demand (ties to the smaller dense index), and the per-``k``
-   Dijkstra runs only from those solver endpoints
-   (``csgraph.dijkstra(indices=sources_k)``).  Only one ``k``'s
-   distance block is ever alive, so peak extra memory is
-   O(max_k |sources_k| * n) -- there is no per-``k`` detour cache and
-   nothing O(n^3).
+   ``k``'s demand and the per-``k`` Dijkstra runs only from those
+   solver endpoints.  Only one ``k``'s distance block is ever alive, so
+   peak extra memory is O(max_k |sources_k| * n).
 
-3. **Vectorized evaluation.**  Per ``k``, the demanded ``(i, j)``
-   entries are gathered as index arrays and
-   ``p^k_ij = c_k + Cost(P_{-k}) - Cost(P)`` is evaluated in bulk,
-   including the negative-price and non-biconnected (infinite detour)
-   guards.  Violations are raised as the same
-   :class:`~repro.exceptions.MechanismError` /
+3. **Array-native evaluation and assembly.**  Per ``k``, the demanded
+   entries are contiguous slices of pre-gathered arrays and
+   ``p^k_ij = c_k + Cost(P_{-k}) - Cost(P)`` is evaluated in bulk; the
+   priced result lives in flat arrays
+   (:class:`repro.routing.flatsweep.FlatPriceArrays`) with no
+   per-entry Python dict work on the hot path.  Violations are raised
+   as the same :class:`~repro.exceptions.MechanismError` /
    :class:`~repro.exceptions.NotBiconnectedError` the reference engine
    raises, with the *same deterministic witness*: candidates are
    ordered by the reference sweep's iteration order (destination
@@ -40,128 +39,46 @@ instance size from hundreds of nodes to thousands:
    the first one wins, so differential tests see identical error
    classes and messages.
 
+The sweep itself lives in :mod:`repro.routing.flatsweep` and is shared
+with :class:`~repro.routing.engines.flat_parallel.FlatParallelEngine`,
+which runs the same per-transit-node groups sharded across worker
+processes over shared memory.
+
 Observability: an observed run counts ``routing.flat.solves`` (masked
 Dijkstra calls, one per distinct transit node), ``routing.flat.rows``
-(distance rows actually computed -- the demand-restriction win), and
-``routing.flat.masked`` (stored entries masked across all solves)
-alongside the standard engine span/counter surface.
+(distance rows actually computed -- the demand-restriction win),
+``routing.flat.masked`` (stored entries masked across all solves), and
+``routing.flat.workers`` / ``routing.flat.shards`` (the sweep's
+process/shard layout; 1/1 for this engine) alongside the standard
+engine span/counter surface.
 """
 
 from __future__ import annotations
 
-from array import array
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Tuple
 
 import numpy as np
-from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 import repro.obs as obs_mod
 from repro.devtools import sanitize
-from repro.exceptions import (
-    DisconnectedGraphError,
-    MechanismError,
-    NotBiconnectedError,
-)
+from repro.exceptions import DisconnectedGraphError
 from repro.graphs.asgraph import ASGraph
 from repro.obs import names as metric_names
 from repro.routing.engines.base import CostMatrix, Engine
-from repro.routing.flatgraph import FlatGraph, build_flat_graph
-from repro.types import Cost, NodeId
+from repro.routing.flatgraph import build_flat_graph
+from repro.routing.flatsweep import (
+    _NEGATIVE_PRICE_EPS,  # noqa: F401  (re-export: tests pin the literal)
+    FlatPriceArrays,
+    FlatSweepStats,
+    flat_price_arrays,
+)
+from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import-light at runtime
     from repro.mechanism.vcg import PriceRow, PriceTable
     from repro.routing.allpairs import AllPairsRoutes
 
 __all__ = ["FlatEngine", "FlatSweepStats", "flat_price_rows"]
-
-#: Tolerance of the defensive negative-price guard; identical to the
-#: reference sweep's literal so both paths trip on the same values.
-_NEGATIVE_PRICE_EPS = -1e-9
-
-
-@dataclass
-class FlatSweepStats:
-    """Work accounting of one flat price sweep (obs + benchmark gates).
-
-    ``solves`` counts masked Dijkstra calls (one per distinct transit
-    node), ``rows`` the distance rows computed across them (the
-    demand-restriction + orientation win: without either it would be
-    ``solves * n``), ``masked`` the stored entries masked in place,
-    ``entries`` the demanded ``(i, j, k)`` price evaluations, and
-    ``max_block_rows`` the largest single distance block held alive --
-    the peak-memory driver, bounded by ``max_k |sources_k|``.
-    """
-
-    solves: int = 0
-    rows: int = 0
-    masked: int = 0
-    entries: int = 0
-    max_block_rows: int = 0
-
-
-#: The demanded (i, j, k) entries as parallel arrays in reference
-#: sequence order: dense transit index, dense source, dense
-#: destination, selected-LCP transit cost.
-_EntryArrays = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-
-
-def _invert_transit_relation(
-    graph: ASGraph,
-    routes: "AllPairsRoutes",
-    flat: FlatGraph,
-) -> Tuple[List[Tuple[NodeId, NodeId, Tuple[NodeId, ...]]], _EntryArrays]:
-    """Flatten the canonical routes into demanded-entry arrays.
-
-    The scan runs in the reference engine's iteration order
-    (destination ascending, sources ascending, transit nodes in path
-    order), so an entry's *position* in the returned arrays is its
-    reference-order sequence number and any violation found later can
-    be raised with the exact witness the reference sweep would have
-    raised first.
-
-    The interpreter only touches each priced *pair* once (plus one
-    list comprehension over its transit nodes); the per-entry
-    expansion -- source, destination and LCP cost repeated across a
-    pair's transit nodes -- happens in numpy.
-
-    Returns the ordered list of priced pairs with their transit tuples
-    and the parallel entry arrays ``(k, source, destination, lcp)``.
-    """
-    index = flat.index
-    pairs: List[Tuple[NodeId, NodeId, Tuple[NodeId, ...]]] = []
-    pair_src = array("q")
-    pair_dst = array("q")
-    pair_lcp = array("d")
-    pair_width = array("q")
-    entry_k = array("q")
-    for destination in graph.nodes:
-        tree = routes.tree(destination)
-        dj = index[destination]
-        for source in tree.sources():
-            path = tree.path(source)
-            if len(path) == 2:
-                continue  # direct link: no transit nodes, no prices
-            transit = path[1:-1]
-            pairs.append((source, destination, transit))
-            pair_src.append(index[source])
-            pair_dst.append(dj)
-            pair_lcp.append(tree.cost(source))
-            pair_width.append(len(transit))
-            entry_k.extend([index[k] for k in transit])
-
-    def compact(buffer: array, dtype: type) -> np.ndarray:
-        if not len(buffer):
-            return np.empty(0, dtype=dtype)
-        return np.frombuffer(buffer, dtype=dtype)
-
-    width = compact(pair_width, np.int64)
-    entry_pair = np.repeat(np.arange(len(pairs), dtype=np.int64), width)
-    e_k = compact(entry_k, np.int64)
-    e_src = compact(pair_src, np.int64)[entry_pair]
-    e_dst = compact(pair_dst, np.int64)[entry_pair]
-    e_lcp = compact(pair_lcp, np.float64)[entry_pair]
-    return pairs, (e_k, e_src, e_dst, e_lcp)
 
 
 def flat_price_rows(
@@ -175,126 +92,11 @@ def flat_price_rows(
     Returns the same ``(source, destination) -> {k: price}`` mapping as
     :func:`repro.mechanism.vcg.compute_price_table` stores (direct-link
     pairs omitted); *stats*, when given, is filled with the sweep's
-    work accounting.
+    work accounting.  This is the dict-materializing convenience over
+    :func:`repro.routing.flatsweep.flat_price_arrays`; large-instance
+    callers should stay on the arrays and skip :meth:`to_rows`.
     """
-    from repro.routing.allpairs import all_pairs_lcp
-
-    routes = routes if routes is not None else all_pairs_lcp(graph)
-    stats = stats if stats is not None else FlatSweepStats()
-    flat = build_flat_graph(graph)
-    pairs, (e_k, e_src, e_dst, e_lcp) = _invert_transit_relation(graph, routes, flat)
-    total_entries = int(e_k.shape[0])
-    stats.entries = total_entries
-    n = flat.num_nodes
-
-    prices = np.empty(total_entries, dtype=np.float64)
-    #: (sequence, kind, dense k, dense source, dense destination,
-    #: price); kind 0 = infinite detour, 1 = negative price.  The
-    #: minimum sequence is the witness the reference raises first.
-    first_violation: Optional[Tuple[int, int, int, int, int, float]] = None
-
-    # Group the entries by transit node: a stable argsort keeps each
-    # group in reference sequence order, and the group slices *are*
-    # the global sequence numbers of its entries.
-    order = np.argsort(e_k, kind="stable")
-    k_values, k_counts = np.unique(e_k, return_counts=True)
-    k_stops = np.cumsum(k_counts)
-
-    for ki, start, stop in zip(
-        k_values.tolist(), (k_stops - k_counts).tolist(), k_stops.tolist()
-    ):
-        seq = order[start:stop]
-        src = e_src[seq]
-        dst = e_dst[seq]
-        lcp = e_lcp[seq]
-
-        # Transit cost is symmetric under the w(u -> v) = c_v
-        # reduction (both directions sum the same interior node
-        # costs), so each *unordered* pair needs one distance row.
-        # Orient every pair onto the endpoint covering the most of
-        # this k's demand (ties to the smaller dense index): for the
-        # near-bipartite demand a popular transit node induces, this
-        # collapses the Dijkstra sources onto the small side.
-        lo = np.minimum(src, dst)
-        hi = np.maximum(src, dst)
-        unordered, member = np.unique(lo * n + hi, return_inverse=True)
-        u_lo = unordered // n
-        u_hi = unordered - u_lo * n
-        cover = np.bincount(u_lo, minlength=n) + np.bincount(u_hi, minlength=n)
-        lo_wins = (cover[u_lo] > cover[u_hi]) | (
-            (cover[u_lo] == cover[u_hi]) & (u_lo < u_hi)
-        )
-        solver = np.where(lo_wins, u_lo, u_hi)
-        other = np.where(lo_wins, u_hi, u_lo)
-        sources = np.unique(solver)
-
-        with flat.masked(ki) as matrix:
-            block = _csgraph_dijkstra(
-                matrix,
-                directed=True,
-                indices=sources,
-                return_predecessors=False,
-            )
-        stats.solves += 1
-        stats.rows += int(sources.shape[0])
-        stats.masked += flat.degree(ki)
-        stats.max_block_rows = max(stats.max_block_rows, int(sources.shape[0]))
-
-        u_detour = block[np.searchsorted(sources, solver), other] - flat.costs[other]
-        detour = u_detour[member]
-        entry_prices = flat.costs[ki] + detour - lcp
-        prices[seq] = entry_prices
-
-        infinite = ~np.isfinite(detour)
-        negative = ~infinite & (entry_prices < _NEGATIVE_PRICE_EPS)
-        if infinite.any() or negative.any():
-            bad = np.flatnonzero(infinite | negative)
-            at = bad[np.argmin(seq[bad])]
-            candidate = (
-                int(seq[at]),
-                0 if infinite[at] else 1,
-                ki,
-                int(src[at]),
-                int(dst[at]),
-                float(entry_prices[at]),
-            )
-            if first_violation is None or candidate[0] < first_violation[0]:
-                first_violation = candidate
-
-    if first_violation is not None:
-        _raise_reference_error(flat, first_violation)
-
-    rows: Dict[Tuple[NodeId, NodeId], Dict[NodeId, Cost]] = {}
-    position = 0
-    for source, destination, transit in pairs:
-        row: Dict[NodeId, Cost] = {}
-        for offset, k in enumerate(transit):
-            row[k] = float(prices[position + offset])
-        position += len(transit)
-        rows[(source, destination)] = row
-    return rows
-
-
-def _raise_reference_error(
-    flat: FlatGraph,
-    violation: Tuple[int, int, int, int, int, float],
-) -> None:
-    """Raise the violation exactly as the reference sweep would."""
-    _sequence, kind, ki, si, dj, price = violation
-    k = int(flat.node_ids[ki])
-    source = int(flat.node_ids[si])
-    destination = int(flat.node_ids[dj])
-    if kind == 0:
-        raise NotBiconnectedError(
-            message=(
-                f"price p^{k}_{{{source},{destination}}} undefined: "
-                f"no {k}-avoiding path (graph not biconnected)"
-            )
-        )
-    raise MechanismError(
-        f"negative VCG price {price} for k={k}, pair "
-        f"({source}, {destination}); avoiding cost below LCP cost"
-    )
+    return flat_price_arrays(graph, routes, stats=stats).to_rows()
 
 
 class FlatEngine(Engine):
@@ -323,6 +125,8 @@ class FlatEngine(Engine):
         observer.count(metric_names.FLAT_SOLVES, stats.solves, engine=self.name)
         observer.count(metric_names.FLAT_ROWS, stats.rows, engine=self.name)
         observer.count(metric_names.FLAT_MASKED, stats.masked, engine=self.name)
+        observer.count(metric_names.FLAT_WORKERS, stats.workers, engine=self.name)
+        observer.count(metric_names.FLAT_SHARDS, stats.shards, engine=self.name)
         return table
 
     def _price_table(
@@ -331,6 +135,16 @@ class FlatEngine(Engine):
         routes: Optional["AllPairsRoutes"] = None,
     ) -> "PriceTable":
         return self._build_table(graph, routes, FlatSweepStats())
+
+    def _price_arrays(
+        self,
+        graph: ASGraph,
+        routes: "AllPairsRoutes",
+        stats: FlatSweepStats,
+    ) -> FlatPriceArrays:
+        """The sweep itself; the parallel subclass reroutes this onto
+        its sharded worker pool."""
+        return flat_price_arrays(graph, routes, stats=stats)
 
     def _build_table(
         self,
@@ -342,13 +156,15 @@ class FlatEngine(Engine):
         from repro.routing.allpairs import all_pairs_lcp
 
         routes = routes if routes is not None else all_pairs_lcp(graph)
-        rows = flat_price_rows(graph, routes=routes, stats=stats)
+        rows = self._price_arrays(graph, routes, stats).to_rows()
         table = PriceTable(routes=routes, rows=rows)
         if sanitize.enabled():
             sanitize.check_price_table(graph, table)
         return table
 
     def cost_matrix(self, graph: ASGraph) -> CostMatrix:
+        from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
         flat = build_flat_graph(graph)
         dist = _csgraph_dijkstra(
             flat.matrix(), directed=True, return_predecessors=False

@@ -37,9 +37,9 @@ from repro.types import costs_close
 
 
 def _engine(name: str) -> Engine:
-    # Two workers so the parallel engine exercises real worker
-    # processes (and their merge path) regardless of host core count.
-    options = {"workers": 2} if name == "parallel" else {}
+    # Two workers so the parallel engines exercise real worker
+    # processes (and their merge paths) regardless of host core count.
+    options = {"workers": 2} if name in ("parallel", "flat-parallel") else {}
     return get_engine(name, **options)
 
 

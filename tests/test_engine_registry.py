@@ -10,6 +10,7 @@ from repro.routing.allpairs import all_pairs_lcp
 from repro.routing.engines import (
     Engine,
     FlatEngine,
+    FlatParallelEngine,
     IncrementalEngine,
     ParallelEngine,
     ReferenceEngine,
@@ -25,6 +26,7 @@ class TestRegistry:
     def test_builtin_engines_registered(self):
         assert engine_names() == (
             "flat",
+            "flat-parallel",
             "incremental",
             "parallel",
             "reference",
@@ -35,11 +37,13 @@ class TestRegistry:
         assert isinstance(get_engine("reference"), ReferenceEngine)
         assert isinstance(get_engine("scipy"), ScipyEngine)
         assert isinstance(get_engine("flat"), FlatEngine)
+        assert isinstance(get_engine("flat-parallel"), FlatParallelEngine)
         assert isinstance(get_engine("parallel"), ParallelEngine)
         assert isinstance(get_engine("incremental"), IncrementalEngine)
 
     def test_get_engine_forwards_options(self):
         assert get_engine("parallel", workers=2).workers == 2
+        assert get_engine("flat-parallel", workers=3).workers == 3
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(EngineError, match="unknown engine 'turbo'"):
@@ -60,15 +64,16 @@ class TestRegistry:
         assert get_engine("incremental").carries_paths
         assert not get_engine("scipy").carries_paths
         assert not get_engine("flat").carries_paths
+        assert not get_engine("flat-parallel").carries_paths
 
 
 class TestCapabilityErrors:
-    @pytest.mark.parametrize("name", ["scipy", "flat"])
+    @pytest.mark.parametrize("name", ["scipy", "flat", "flat-parallel"])
     def test_cost_only_engine_has_no_paths(self, fig1, name):
         with pytest.raises(EngineError, match="cost-only"):
             get_engine(name).all_pairs(fig1)
 
-    @pytest.mark.parametrize("name", ["scipy", "flat"])
+    @pytest.mark.parametrize("name", ["scipy", "flat", "flat-parallel"])
     def test_all_pairs_lcp_engine_must_carry_paths(self, fig1, name):
         with pytest.raises(EngineError, match="cost-only"):
             all_pairs_lcp(fig1, engine=name)
@@ -83,7 +88,8 @@ class TestEngineParameter:
         assert all_pairs_lcp(fig1, engine=engine).paths == default.paths
 
     @pytest.mark.parametrize(
-        "name", ["reference", "scipy", "flat", "parallel", "incremental"]
+        "name",
+        ["reference", "scipy", "flat", "flat-parallel", "parallel", "incremental"],
     )
     def test_compute_price_table_dispatches(self, fig1, name):
         default = compute_price_table(fig1)

@@ -169,7 +169,7 @@ class TestSpecificShapes:
 
 class TestScalingPresets:
     def test_registry_covers_families_and_sizes(self):
-        assert SCALING_SIZES == (1000, 2000, 5000)
+        assert SCALING_SIZES == (1000, 2000, 5000, 10000)
         expected = {
             f"{family}-{n}"
             for family in ("isp-like", "barabasi-albert")
@@ -185,6 +185,22 @@ class TestScalingPresets:
         graph = scaling_graph(preset)
         assert graph.num_nodes == 1000
         assert graph.num_edges >= graph.num_nodes  # biconnected implies >= n
+        assert is_biconnected(graph)
+
+    def test_barabasi_albert_10000_smoke(self):
+        graph = scaling_graph("barabasi-albert-10000")
+        assert graph.num_nodes == 10000
+        assert graph.num_edges >= graph.num_nodes
+        assert is_biconnected(graph)
+
+    @pytest.mark.slow
+    def test_isp_like_10000_smoke(self):
+        # The internet-scale floor: a ~2000-node dense core (ring plus
+        # p=0.5 chords, ~1M edges) with multihomed stubs.  Building it
+        # is the expensive part; the structural checks are cheap.
+        graph = scaling_graph("isp-like-10000")
+        assert graph.num_nodes == 10000
+        assert graph.num_edges > 500_000
         assert is_biconnected(graph)
 
     def test_presets_are_deterministic(self):
